@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benchmark binaries: run a
+ * config sweep over the suite and print one aligned table per figure,
+ * with apps as rows and configs as columns — the same rows/series the
+ * paper plots.
+ */
+
+#ifndef ESPSIM_BENCH_BENCH_UTIL_HH
+#define ESPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/stats_report.hh"
+
+namespace espsim::benchutil
+{
+
+/** Metric extracted from one SimResult (given also the app's row). */
+using Metric = std::function<double(const SuiteRow &, std::size_t cfg)>;
+
+/**
+ * Print a figure table: one row per app plus an aggregate row.
+ * @p cfg_from skips reference configs that aren't displayed columns.
+ * @p hmean aggregates harmonically when true, arithmetically otherwise.
+ */
+inline void
+printFigure(const std::string &title,
+            const std::vector<SuiteRow> &rows,
+            const std::vector<SimConfig> &configs, std::size_t cfg_from,
+            const Metric &metric, int precision, bool hmean,
+            const std::string &aggregate_label = "HMean")
+{
+    TextTable table(title);
+    std::vector<std::string> header{"app"};
+    for (std::size_t c = cfg_from; c < configs.size(); ++c)
+        header.push_back(configs[c].name);
+    table.header(header);
+
+    for (const SuiteRow &row : rows) {
+        std::vector<std::string> cells{row.app};
+        for (std::size_t c = cfg_from; c < configs.size(); ++c)
+            cells.push_back(TextTable::num(metric(row, c), precision));
+        table.row(cells);
+    }
+
+    std::vector<std::string> agg{aggregate_label};
+    for (std::size_t c = cfg_from; c < configs.size(); ++c) {
+        std::vector<double> values;
+        values.reserve(rows.size());
+        for (const SuiteRow &row : rows)
+            values.push_back(metric(row, c));
+        const double m =
+            hmean ? harmonicMean(values) : arithmeticMean(values);
+        agg.push_back(TextTable::num(m, precision));
+    }
+    table.row(agg);
+
+    std::fputs(table.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+/** Percent improvement of config @p cfg over config index 0. */
+inline double
+improvementOverRef(const SuiteRow &row, std::size_t cfg,
+                   std::size_t ref = 0)
+{
+    return row.results[cfg].improvementPctOver(row.results[ref]);
+}
+
+/**
+ * Print a performance-improvement figure (percent over the reference
+ * config @p ref, which is hidden). The aggregate row is the harmonic
+ * mean of *speedups* converted to percent, matching the paper's HMean
+ * bars (and well-defined even when some apps regress).
+ */
+inline void
+printImprovementFigure(const std::string &title,
+                       const std::vector<SuiteRow> &rows,
+                       const std::vector<SimConfig> &configs,
+                       std::size_t cfg_from, std::size_t ref = 0)
+{
+    TextTable table(title);
+    std::vector<std::string> header{"app"};
+    for (std::size_t c = cfg_from; c < configs.size(); ++c)
+        header.push_back(configs[c].name);
+    table.header(header);
+
+    for (const SuiteRow &row : rows) {
+        std::vector<std::string> cells{row.app};
+        for (std::size_t c = cfg_from; c < configs.size(); ++c)
+            cells.push_back(
+                TextTable::num(improvementOverRef(row, c, ref), 1));
+        table.row(cells);
+    }
+    std::vector<std::string> agg{"HMean"};
+    for (std::size_t c = cfg_from; c < configs.size(); ++c)
+        agg.push_back(TextTable::num(hmeanImprovementPct(rows, c, ref), 1));
+    table.row(agg);
+
+    std::fputs(table.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+} // namespace espsim::benchutil
+
+#endif // ESPSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 6: the benchmark table — actions
+ * performed, number of events executed, and instruction counts, for
+ * each web application. Our workloads are scaled down ~an order of
+ * magnitude from the paper's traces; the paper's values are printed
+ * alongside for reference.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "workload/app_profile.hh"
+#include "workload/generator.hh"
+
+using namespace espsim;
+
+int
+main()
+{
+    TextTable table("Figure 6: Benchmark web applications");
+    table.header({"app", "events", "inst(K)", "inst/event",
+                  "independent%", "paper events", "paper inst(M)"});
+
+    for (const AppProfile &profile : AppProfile::webSuite()) {
+        SyntheticGenerator gen(profile);
+        const auto workload = gen.generate();
+        const double insts =
+            static_cast<double>(workload->totalInstructions());
+        const double events =
+            static_cast<double>(workload->numEvents());
+        table.row({
+            profile.name,
+            TextTable::num(events, 0),
+            TextTable::num(insts / 1000.0, 0),
+            TextTable::num(insts / events, 0),
+            TextTable::num(100.0 * workload->independentEventFraction(),
+                           1),
+            TextTable::num(profile.paperEvents, 0),
+            TextTable::num(profile.paperInstMillions, 0),
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::puts("\nActions performed:");
+    for (const AppProfile &profile : AppProfile::webSuite())
+        std::printf("  %-9s %s\n", profile.name.c_str(),
+                    profile.description.c_str());
+    return 0;
+}

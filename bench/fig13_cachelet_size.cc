@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 13: working-set sizes of events
+ * pre-executed in each ESP mode, versus the working set of full events
+ * in normal execution.
+ *
+ * The run instruments an 8-deep jump-ahead ESP with unbounded
+ * cachelets/lists; for each depth it samples the number of distinct
+ * I-cache blocks touched while an event sat in that mode. Paper shape:
+ * pre-executed working sets are an order of magnitude smaller than
+ * full events; provisioning for ~95% of reuse needs only ~5.5 KB at
+ * ESP-1 and ~0.5 KB at ESP-2; and depths beyond 2 see almost no
+ * activity.
+ */
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "common/histogram.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workload/app_profile.hh"
+#include "workload/generator.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+constexpr unsigned studyDepth = 8;
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig config = SimConfig::espWorkingSetStudy(studyDepth);
+
+    // Aggregate samples across the whole suite, like the paper.
+    SampleStat normal;
+    std::vector<SampleStat> per_depth(studyDepth);
+
+    for (const AppProfile &profile : AppProfile::webSuite()) {
+        SyntheticGenerator gen(profile);
+        const auto workload = gen.generate();
+
+        // Normal-mode working set: distinct I-blocks per full event.
+        for (std::size_t i = 0; i < workload->numEvents(); ++i) {
+            std::unordered_set<Addr> set;
+            for (const MicroOp &op : workload->event(i).ops)
+                set.insert(blockAlign(op.pc));
+            normal.record(static_cast<double>(set.size()));
+        }
+
+        const SimResult res = Simulator(config).run(*workload);
+        for (unsigned d = 0;
+             d < studyDepth && d < res.instrWorkingSets.size(); ++d) {
+            const SampleStat &s = res.instrWorkingSets[d];
+            // Merge per-app distributions by carrying their summary
+            // quantiles into the suite-level accumulator.
+            if (!s.empty()) {
+                per_depth[d].record(s.max());
+                per_depth[d].record(s.percentile(95));
+                per_depth[d].record(s.percentile(85));
+                per_depth[d].record(s.percentile(75));
+            }
+        }
+    }
+
+    TextTable table(
+        "Figure 13: I-cachelet working set (64 B blocks touched while "
+        "in each mode)");
+    table.header(
+        {"mode", "samples", "max", "p95", "p85", "p75", "p95 as KB"});
+
+    auto emit = [&table](const std::string &label, const SampleStat &s) {
+        table.row({label, TextTable::num(static_cast<double>(s.count()), 0),
+                   TextTable::num(s.max(), 0),
+                   TextTable::num(s.percentile(95), 0),
+                   TextTable::num(s.percentile(85), 0),
+                   TextTable::num(s.percentile(75), 0),
+                   TextTable::num(s.percentile(95) * blockBytes / 1024.0,
+                                  2)});
+    };
+
+    emit("Normal", normal);
+    for (unsigned d = 0; d < studyDepth; ++d)
+        emit("ESP" + std::to_string(d + 1), per_depth[d]);
+
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\npaper conclusion check: ESP-1 p95 ~ 5.5 KB, ESP-2 p95 "
+              "~ 0.5 KB, negligible activity beyond ESP-2.");
+    return 0;
+}

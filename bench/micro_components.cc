@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * cache lookups, branch prediction, workload generation, list
+ * appends, and end-to-end simulation throughput. These guard the
+ * simulator's own performance (the figures above re-run millions of
+ * simulated instructions).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/pentium_m.hh"
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "esp/lists.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    SetAssocCache cache({"bench", 32 * 1024, 2, 2});
+    Rng rng(7);
+    for (auto _ : state) {
+        const Addr addr = rng.below(1 << 20) * blockBytes;
+        if (!cache.lookup(addr))
+            cache.insert(addr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    MemoryHierarchy mem{HierarchyConfig{}};
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.accessData(rng.below(1 << 22) * 8, false, now++));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    PentiumMPredictor bp;
+    Rng rng(7);
+    MicroOp op;
+    op.type = OpType::BranchCond;
+    for (auto _ : state) {
+        op.pc = 0x1000 + 4 * rng.below(4096);
+        op.taken = rng.chance(0.7);
+        op.branchTarget = op.taken ? op.pc + 16 : 0;
+        benchmark::DoNotOptimize(bp.executeBranch(op));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_ListAppend(benchmark::State &state)
+{
+    Rng rng(7);
+    AddressList list(0); // unbounded
+    for (auto _ : state) {
+        list.append(rng.below(1 << 22) * blockBytes,
+                    state.iterations());
+        if (list.records().size() > 1 << 16) {
+            state.PauseTiming();
+            list.clear();
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ListAppend);
+
+void
+BM_GenerateEvent(benchmark::State &state)
+{
+    SyntheticGenerator gen(AppProfile::testProfile());
+    std::uint64_t id = 0;
+    std::size_t ops = 0;
+    for (auto _ : state) {
+        const EventTrace trace = gen.generateEvent(id++ % 24);
+        ops += trace.size();
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_GenerateEvent);
+
+void
+BM_SimulateBaseline(benchmark::State &state)
+{
+    SyntheticGenerator gen(AppProfile::testProfile());
+    const auto workload = gen.generate();
+    const Simulator sim(SimConfig::nextLineStride());
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        const SimResult res = sim.run(*workload);
+        insts += res.core.instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SimulateBaseline);
+
+void
+BM_SimulateEsp(benchmark::State &state)
+{
+    SyntheticGenerator gen(AppProfile::testProfile());
+    const auto workload = gen.generate();
+    const Simulator sim(SimConfig::espFull(true));
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        const SimResult res = sim.run(*workload);
+        insts += res.core.instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SimulateEsp);
+
+} // namespace
+
+BENCHMARK_MAIN();

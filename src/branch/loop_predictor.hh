@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Loop branch predictor (256 entries in the Pentium M, Figure 7).
+ *
+ * Learns branches with a constant trip count: a branch observed taken
+ * N-1 times then not-taken, repeatedly, is predicted not-taken exactly
+ * on its N-th execution once confidence is established.
+ */
+
+#ifndef ESPSIM_BRANCH_LOOP_PREDICTOR_HH
+#define ESPSIM_BRANCH_LOOP_PREDICTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** Trip-count loop predictor. */
+class LoopPredictor
+{
+  public:
+    explicit LoopPredictor(std::size_t entries = 256);
+
+    /**
+     * Confident prediction for the branch at @p pc, or nullopt when
+     * this branch isn't a recognised loop.
+     */
+    std::optional<bool> predict(Addr pc) const;
+
+    /** Observe the actual direction of the branch at @p pc. */
+    void update(Addr pc, bool taken);
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        std::uint32_t current = 0; //!< takens since last not-taken
+        std::uint32_t limit = 0;   //!< learned trip count
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+
+    std::size_t indexOf(Addr pc) const;
+    std::uint32_t tagOf(Addr pc) const;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_BRANCH_LOOP_PREDICTOR_HH

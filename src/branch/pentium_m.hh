@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Pentium M-style branch predictor, sized per the paper's Figure 7:
+ * 2k-entry tagged global predictor (PIR-indexed), 4k-entry local
+ * predictor, 2k-entry BTB, 256-entry indirect BTB (PIR-indexed),
+ * 256-entry loop predictor, and a 16-deep return address stack.
+ *
+ * The predictor separates *context* (PIR + RAS — cheap, replicated per
+ * ESP execution mode) from *tables* (shared across modes in the final
+ * ESP design). BpContext snapshots support the mode switching of §4.3.
+ */
+
+#ifndef ESPSIM_BRANCH_PENTIUM_M_HH
+#define ESPSIM_BRANCH_PENTIUM_M_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/loop_predictor.hh"
+#include "branch/pir.hh"
+#include "common/stats.hh"
+#include "trace/micro_op.hh"
+
+namespace espsim
+{
+
+/** Table sizing knobs (defaults = paper Figure 7). */
+struct BranchPredictorConfig
+{
+    std::size_t globalEntries = 2048;
+    std::size_t localEntries = 4096;
+    std::size_t btbEntries = 2048;
+    std::size_t ibtbEntries = 256;
+    std::size_t loopEntries = 256;
+    unsigned rasDepth = 16;
+};
+
+/** A prediction: direction plus (0 = unknown) target. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr target = 0;
+};
+
+/** Outcome of executing one branch against the predictor. */
+enum class BranchResult
+{
+    Correct,    //!< direction and target both right
+    BtbMiss,    //!< direction right, target unknown/stale (short bubble)
+    Mispredict, //!< wrong direction or wrong indirect/return target
+};
+
+/** The replicable per-execution-context predictor state. */
+struct BpContext
+{
+    Pir pir;
+    std::vector<Addr> ras;
+
+    void
+    clear()
+    {
+        pir.reset();
+        ras.clear();
+    }
+};
+
+/** Pentium M composite predictor. */
+class PentiumMPredictor
+{
+  public:
+    explicit PentiumMPredictor(
+        const BranchPredictorConfig &config = BranchPredictorConfig{});
+
+    /**
+     * Predict, compare against the op's actual outcome, and update all
+     * structures. ESP-mode pre-executions pass @p count_stats = false
+     * so speculative branches don't pollute the mispredict-rate stats.
+     */
+    BranchResult executeBranch(const MicroOp &op,
+                               bool count_stats = true);
+
+    /**
+     * What would be predicted right now, with no state change. Used by
+     * the runahead engine to detect wrong-path divergence on branches
+     * whose outcome depends on the missing load.
+     */
+    BranchPrediction predictOnly(const MicroOp &op) const;
+
+    /**
+     * Pre-train the tables with a known future outcome (ESP B-list
+     * path). Uses @p train_ctx as the path context — the trainer owns
+     * a PIR that replays the recorded path — and does not count stats.
+     */
+    void train(BpContext &train_ctx, Addr pc, OpType type, bool taken,
+               Addr target);
+
+    /** Swap in another execution context (returns the previous one). */
+    BpContext swapContext(BpContext ctx);
+
+    /** Current context access (tests / controller). */
+    const BpContext &context() const { return ctx_; }
+    void clearRas() { ctx_.ras.clear(); }
+
+    /** Full-table snapshot support (the Fig. 12 "separate tables"
+     *  design replicates the entire predictor per mode). */
+    PentiumMPredictor clone() const { return *this; }
+    void copyTablesFrom(const PentiumMPredictor &other);
+
+    // --- statistics (conditional + indirect + return predictions) ---
+    std::uint64_t branches() const { return stat_branches_; }
+    std::uint64_t mispredicts() const { return stat_mispredicts_; }
+    /** Mispredicts whose direction was right but the BTB had no/old
+     *  target for a taken direct branch (cheaper front-end bubble). */
+    std::uint64_t btbMisses() const { return stat_btb_miss_; }
+    void
+    clearStats()
+    {
+        stat_branches_ = stat_mispredicts_ = stat_btb_miss_ = 0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return stat_branches_ == 0
+            ? 0.0
+            : static_cast<double>(stat_mispredicts_) /
+                static_cast<double>(stat_branches_);
+    }
+
+  private:
+    BranchPredictorConfig config_;
+    BpContext ctx_;
+
+    struct GlobalEntry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t counter = 0; //!< 2-bit saturating
+        bool valid = false;
+    };
+    struct TargetEntry
+    {
+        std::uint32_t tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+
+    std::vector<GlobalEntry> global_;
+    std::vector<std::uint8_t> local_; //!< 2-bit counters
+    std::vector<TargetEntry> btb_;
+    std::vector<TargetEntry> ibtb_;
+    LoopPredictor loop_;
+
+    std::uint64_t stat_branches_ = 0;
+    std::uint64_t stat_mispredicts_ = 0;
+    std::uint64_t stat_btb_miss_ = 0;
+
+    // --- helpers ---------------------------------------------------
+    std::size_t globalIndex(const Pir &pir, Addr pc) const;
+    std::uint16_t globalTag(const Pir &pir, Addr pc) const;
+    std::size_t localIndex(Addr pc) const;
+    std::size_t btbIndex(Addr pc) const;
+    std::uint32_t btbTag(Addr pc) const;
+    std::size_t ibtbIndex(const Pir &pir, Addr pc) const;
+    std::uint32_t ibtbTag(const Pir &pir, Addr pc) const;
+
+    bool predictDirection(const BpContext &ctx, Addr pc) const;
+    void updateDirection(BpContext &ctx, Addr pc, bool taken,
+                         bool final_pred_wrong, bool architectural);
+    void updateTargets(BpContext &ctx, const MicroOp &op);
+    BranchPrediction predict(const BpContext &ctx,
+                             const MicroOp &op) const;
+    static void bumpCounter(std::uint8_t &counter, bool taken);
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_BRANCH_PENTIUM_M_HH

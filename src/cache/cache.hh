@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Set-associative, LRU-replacement cache tag array.
+ *
+ * Tracks presence only (the simulator is trace driven, so no data
+ * values are stored). Used for L1-I, L1-D, L2, and as the substrate of
+ * the ESP cachelets.
+ */
+
+#ifndef ESPSIM_CACHE_CACHE_HH
+#define ESPSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheGeometry
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    Cycle hitLatency = 2;
+
+    std::size_t numBlocks() const { return sizeBytes / blockBytes; }
+    std::size_t numSets() const { return numBlocks() / assoc; }
+};
+
+/** LRU set-associative tag array. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(CacheGeometry geometry);
+
+    const CacheGeometry &geometry() const { return geometry_; }
+
+    /**
+     * Demand lookup of the block containing @p addr; updates LRU on
+     * hit.
+     * @return true on hit.
+     */
+    bool lookup(Addr addr);
+
+    /** Presence check without touching replacement state. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Fill the block containing @p addr (refreshes LRU if already
+     * present). Evicts the set's LRU way if the set is full.
+     */
+    void insert(Addr addr, bool dirty = false);
+
+    /** Mark the block dirty if present. */
+    void writeHit(Addr addr);
+
+    /** Drop every block. */
+    void invalidateAll();
+
+    /** Number of valid blocks currently cached. */
+    std::size_t population() const;
+
+    // Demand-access statistics (prefetch fills are not counted here).
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return accesses_ - hits_; }
+    void clearStats() { accesses_ = hits_ = 0; }
+
+  protected:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheGeometry geometry_;
+    std::size_t numSets_;
+    std::vector<Line> lines_; //!< numSets_ * assoc, set-major
+    std::uint64_t useClock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const { return blockNumber(addr); }
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    /**
+     * Fill restricted to ways [way_lo, way_hi]; used by Cachelet's way
+     * reservation.
+     */
+    void insertInWays(Addr addr, unsigned way_lo, unsigned way_hi,
+                      bool dirty);
+    bool lookupInWays(Addr addr, unsigned way_lo, unsigned way_hi);
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_CACHE_CACHE_HH

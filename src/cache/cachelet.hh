@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ESP cachelets — the L0 caches used exclusively during speculative
+ * pre-execution (paper §3.4/§4.2).
+ *
+ * One 12-way, 6 KB cachelet exists per side (I and D). It is
+ * partitioned by way reservation: one way (0.5 KB) belongs to the
+ * ESP-2 context, the remaining eleven (5.5 KB) to ESP-1. When the
+ * current event completes and the ESP-2 event is promoted to ESP-1,
+ * the reserved way *rotates* between the first and last way, so the
+ * promoted event keeps its blocks and gains the other ten ways —
+ * exactly the scheme of §4.2.
+ *
+ * Cachelet blocks are never written back: a dirty eviction silently
+ * loses the speculative value (§4.4), which is one source of hint
+ * divergence and is modeled by the controller.
+ */
+
+#ifndef ESPSIM_CACHE_CACHELET_HH
+#define ESPSIM_CACHE_CACHELET_HH
+
+#include "cache/cache.hh"
+
+namespace espsim
+{
+
+/** Which speculative context an access belongs to. */
+enum class EspDepth : unsigned
+{
+    Esp1 = 0, //!< one event jumped ahead
+    Esp2 = 1, //!< two events jumped ahead
+};
+
+/** Way-partitioned L0 cache for the two ESP contexts. */
+class Cachelet : public SetAssocCache
+{
+  public:
+    explicit Cachelet(CacheGeometry geometry);
+
+    /**
+     * Demand lookup in the ways owned by @p depth; updates LRU.
+     * @return true on hit.
+     */
+    bool lookupFor(EspDepth depth, Addr addr);
+
+    /** Fill into the ways owned by @p depth. */
+    void insertFor(EspDepth depth, Addr addr, bool dirty = false);
+
+    /**
+     * The current event finished: promote ESP-2's content to ESP-1
+     * ownership by rotating the reserved way to the other edge.
+     */
+    void rotateReservedWay();
+
+    /** Way currently reserved for the ESP-2 context. */
+    unsigned reservedWay() const { return reservedWay_; }
+
+    /** Drop the blocks owned by @p depth (used on squash). */
+    void invalidateFor(EspDepth depth);
+
+  private:
+    unsigned reservedWay_;
+
+    void waysFor(EspDepth depth, unsigned &lo, unsigned &hi) const;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_CACHE_CACHELET_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The memory hierarchy of the baseline core (paper Figure 7):
+ * split 32 KB 2-way L1-I / L1-D, unified 2 MB 16-way L2 (the LLC),
+ * and DRAM at a flat 101-cycle access latency.
+ *
+ * Demand accesses walk L1 → L2 → memory and fill inclusively.
+ * Prefetches insert immediately and record their completion time in an
+ * in-flight buffer so late prefetches pay residual latency. Probe
+ * methods report where a block lives without disturbing state — the
+ * ESP cachelet fill path uses them, because ESP-mode accesses bypass
+ * the L1/L2 entirely (§3.4).
+ */
+
+#ifndef ESPSIM_CACHE_HIERARCHY_HH
+#define ESPSIM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "prefetch/inflight.hh"
+
+namespace espsim
+{
+
+/** Level that serviced an access. */
+enum class HitLevel : std::uint8_t
+{
+    L1,     //!< first-level hit
+    L2,     //!< L1 miss, L2 hit
+    Memory, //!< LLC miss (this is what triggers ESP / runahead)
+};
+
+/** Outcome of a demand access or probe. */
+struct AccessResult
+{
+    Cycle latency = 0;
+    HitLevel level = HitLevel::L1;
+
+    bool llcMiss() const { return level == HitLevel::Memory; }
+};
+
+/** Configuration of the hierarchy. */
+struct HierarchyConfig
+{
+    CacheGeometry l1i{"L1-I", 32 * 1024, 2, 2};
+    CacheGeometry l1d{"L1-D", 32 * 1024, 2, 2};
+    CacheGeometry l2{"L2", 2 * 1024 * 1024, 16, 21};
+    Cycle memLatency = 101;
+
+    /** Idealisation switches for the Figure 3 potential study. */
+    bool perfectL1I = false;
+    bool perfectL1D = false;
+};
+
+/** Two-level cache hierarchy plus DRAM with prefetch support. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config);
+
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Demand instruction fetch of the block containing @p addr. */
+    AccessResult accessInstr(Addr addr, Cycle now);
+
+    /** Demand data access (@p write marks the block dirty). */
+    AccessResult accessData(Addr addr, bool write, Cycle now);
+
+    /**
+     * Where would the block come from right now? No state change; used
+     * by ESP cachelet fills and by prefetch-issue latency estimation.
+     */
+    AccessResult probeInstr(Addr addr) const;
+    AccessResult probeData(Addr addr) const;
+
+    /**
+     * Issue a prefetch of the block containing @p addr into the
+     * instruction (or data) side. Fills L1 and L2 immediately and
+     * tracks readiness; a no-op when already resident or in flight.
+     * @return true if a prefetch was actually issued.
+     */
+    bool prefetchInstr(Addr addr, Cycle now);
+    bool prefetchData(Addr addr, Cycle now);
+
+    /** Direct cache access (ESP naive mode uses these). */
+    SetAssocCache &l1i() { return l1i_; }
+    SetAssocCache &l1d() { return l1d_; }
+    SetAssocCache &l2() { return l2_; }
+
+    /**
+     * Gate demand statistics; speculative pre-executions that go
+     * through the regular hierarchy (naive ESP, runahead) disable
+     * counting so reported miss rates reflect normal execution only.
+     */
+    void setStatCounting(bool enable) { countStats_ = enable; }
+
+    // --- statistics -----------------------------------------------
+    std::uint64_t l1iAccesses() const { return stat_l1i_acc_; }
+    std::uint64_t l1iMisses() const { return stat_l1i_miss_; }
+    std::uint64_t l1dAccesses() const { return stat_l1d_acc_; }
+    std::uint64_t l1dMisses() const { return stat_l1d_miss_; }
+    std::uint64_t l2Misses() const { return stat_l2_miss_; }
+    std::uint64_t prefetchesIssued() const { return stat_pf_issued_; }
+    std::uint64_t latePrefetchHits() const { return stat_pf_late_; }
+
+    /** Export all counters into @p stats under @p prefix. */
+    void report(StatGroup &stats, const std::string &prefix) const;
+
+  private:
+    HierarchyConfig config_;
+    bool countStats_ = true;
+    SetAssocCache l1i_;
+    SetAssocCache l1d_;
+    SetAssocCache l2_;
+    InflightPrefetchBuffer inflightInstr_;
+    InflightPrefetchBuffer inflightData_;
+
+    std::uint64_t stat_l1i_acc_ = 0;
+    std::uint64_t stat_l1i_miss_ = 0;
+    std::uint64_t stat_l1d_acc_ = 0;
+    std::uint64_t stat_l1d_miss_ = 0;
+    std::uint64_t stat_l2_miss_ = 0;
+    std::uint64_t stat_pf_issued_ = 0;
+    std::uint64_t stat_pf_late_ = 0;
+
+    AccessResult accessSide(SetAssocCache &l1,
+                            InflightPrefetchBuffer &inflight, Addr addr,
+                            bool write, Cycle now,
+                            std::uint64_t &acc_stat,
+                            std::uint64_t &miss_stat);
+    AccessResult probeSide(const SetAssocCache &l1, Addr addr) const;
+    bool prefetchSide(SetAssocCache &l1,
+                      InflightPrefetchBuffer &inflight, Addr addr,
+                      Cycle now);
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_CACHE_HIERARCHY_HH

@@ -1,0 +1,77 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+void
+SampleStat::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleStat::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+SampleStat::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double sum =
+        std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleStat::percentile(double pct) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (pct < 0.0 || pct > 100.0)
+        panic("percentile %f out of [0, 100]", pct);
+    ensureSorted();
+    const auto n = samples_.size();
+    const double rank = pct / 100.0 * static_cast<double>(n - 1);
+    const auto idx = static_cast<std::size_t>(std::llround(rank));
+    return samples_[std::min(idx, n - 1)];
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("harmonicMean requires positive values (got %f)", v);
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace espsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sample accumulator with percentile queries, used for working-set
+ * analysis (paper Figure 13) and distribution checks in tests.
+ */
+
+#ifndef ESPSIM_COMMON_HISTOGRAM_HH
+#define ESPSIM_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace espsim
+{
+
+/** Collects raw samples; answers max / mean / percentile queries. */
+class SampleStat
+{
+  public:
+    void record(double sample) { samples_.push_back(sample); }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Largest recorded sample (0 when empty). */
+    double max() const;
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /**
+     * Value at percentile @p pct in [0, 100], by nearest-rank on the
+     * sorted samples (0 when empty).
+     */
+    double percentile(double pct) const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+
+    void ensureSorted() const;
+};
+
+/** Harmonic mean of a vector of positive values (paper uses HMean). */
+double harmonicMean(const std::vector<double> &values);
+
+/** Arithmetic mean of a vector of values. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_HISTOGRAM_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for user
+ * configuration errors (clean exit); warn()/inform() report conditions
+ * without stopping the simulation.
+ */
+
+#ifndef ESPSIM_COMMON_LOGGING_HH
+#define ESPSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+
+namespace espsim
+{
+
+/** Report an internal simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious condition; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a normal status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_LOGGING_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The synthetic workload generator must be exactly reproducible from a
+ * seed (the same event must regenerate bit-identically when ESP
+ * pre-executes it), so we use a self-contained xorshift128+ generator
+ * rather than std::mt19937, whose distributions are not guaranteed to
+ * be identical across standard library implementations.
+ */
+
+#ifndef ESPSIM_COMMON_RNG_HH
+#define ESPSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+/** xorshift128+ deterministic PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialise the state from a seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to spread low-entropy seeds over the state.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        s0 = next();
+        s1 = next();
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Rng::below called with bound 0");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (hi < lo)
+            panic("Rng::range called with hi < lo");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return real() < p; }
+
+    /**
+     * Geometric-ish integer: mean approximately @p mean, minimum
+     * @p floor. Used for basic-block lengths and run lengths.
+     */
+    std::uint64_t
+    geometric(double mean, std::uint64_t floor = 1)
+    {
+        if (mean <= static_cast<double>(floor))
+            return floor;
+        std::uint64_t value = floor;
+        const double p = 1.0 / (mean - static_cast<double>(floor) + 1.0);
+        while (!chance(p) && value < floor + 64 * 1024)
+            ++value;
+        return value;
+    }
+
+    /**
+     * Zipf-like skewed pick from [0, n): low indices are much more
+     * likely. Cheap approximation (squared uniform) adequate for
+     * hot/cold code and data selection.
+     */
+    std::uint64_t
+    skewed(std::uint64_t n)
+    {
+        const double u = real();
+        return static_cast<std::uint64_t>(u * u * static_cast<double>(n));
+    }
+
+  private:
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_RNG_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components declare scalar counters against a StatGroup; the group can
+ * be dumped as text or queried by name from tests and benchmark
+ * harnesses. This mirrors (a small slice of) the gem5 stats package.
+ */
+
+#ifndef ESPSIM_COMMON_STATS_HH
+#define ESPSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace espsim
+{
+
+/** A flat, ordered collection of named scalar statistics. */
+class StatGroup
+{
+  public:
+    /** Add @p delta to the counter called @p name (created on first use). */
+    void
+    add(const std::string &name, double delta = 1.0)
+    {
+        values_[name] += delta;
+    }
+
+    /** Overwrite the value of @p name. */
+    void
+    set(const std::string &name, double value)
+    {
+        values_[name] = value;
+    }
+
+    /** Value of @p name, or 0 if never touched. */
+    double get(const std::string &name) const;
+
+    /** True if the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge another group into this one (summing counters). */
+    void merge(const StatGroup &other);
+
+    /** Reset every counter to zero. */
+    void clear() { values_.clear(); }
+
+    /** Render as "name = value" lines, one per counter. */
+    std::string dump(const std::string &prefix = "") const;
+
+    /** Access for iteration. */
+    const std::map<std::string, double> &values() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_STATS_HH

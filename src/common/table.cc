@@ -1,0 +1,79 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size()) {
+        panic("table '%s': row has %zu cells, header has %zu",
+              title_.c_str(), cells.size(), header_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&widths](std::ostringstream &out,
+                          const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out << (i == 0 ? "" : "  ");
+            // Left-align the first column (labels), right-align numbers.
+            if (i == 0) {
+                out << cells[i]
+                    << std::string(widths[i] - cells[i].size(), ' ');
+            } else {
+                out << std::string(widths[i] - cells[i].size(), ' ')
+                    << cells[i];
+            }
+        }
+        out << "\n";
+    };
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+    if (!header_.empty())
+        emit(out, header_);
+    std::size_t total = widths.empty() ? 0 : 2 * (widths.size() - 1);
+    for (auto w : widths)
+        total += w;
+    out << std::string(total, '-') << "\n";
+    for (const auto &r : rows_)
+        emit(out, r);
+    return out.str();
+}
+
+} // namespace espsim

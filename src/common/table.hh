@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses, so every
+ * figure/table of the paper prints as an aligned, diffable block.
+ */
+
+#ifndef ESPSIM_COMMON_TABLE_HH
+#define ESPSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace espsim
+{
+
+/** Column-aligned text table with a title, header row, and data rows. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row (defines the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a row of preformatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render the table (title, rule, header, rows). */
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_TABLE_HH

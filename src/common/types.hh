@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental scalar types and address arithmetic used throughout the
+ * ESP simulator.
+ */
+
+#ifndef ESPSIM_COMMON_TYPES_HH
+#define ESPSIM_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace espsim
+{
+
+/** Byte address in the simulated virtual address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Retired / executed instruction count. */
+using InstCount = std::uint64_t;
+
+/** Log2 of the cache block size used by every cache in the system. */
+constexpr unsigned blockBits = 6;
+
+/** Cache block size in bytes (64 B lines, per the paper's Figure 7). */
+constexpr Addr blockBytes = Addr{1} << blockBits;
+
+/** Round an address down to its cache-block base address. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~(blockBytes - 1);
+}
+
+/** Cache-block number of an address (address / 64). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> blockBits;
+}
+
+/** Kinds of micro-ops the trace-driven core understands. */
+enum class OpType : std::uint8_t
+{
+    IntAlu,        //!< single-cycle integer operation
+    FpAlu,         //!< multi-cycle floating point operation
+    Load,          //!< memory read
+    Store,         //!< memory write
+    BranchCond,    //!< conditional direct branch
+    BranchDirect,  //!< unconditional direct jump
+    BranchIndirect,//!< indirect jump (switch, virtual call)
+    Call,          //!< direct call (pushes return address)
+    Return,        //!< return (pops return address)
+};
+
+/** True for every control-flow op type. */
+constexpr bool
+isBranch(OpType type)
+{
+    return type == OpType::BranchCond || type == OpType::BranchDirect ||
+        type == OpType::BranchIndirect || type == OpType::Call ||
+        type == OpType::Return;
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMemory(OpType type)
+{
+    return type == OpType::Load || type == OpType::Store;
+}
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_TYPES_HH

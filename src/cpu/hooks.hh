@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Observation/intervention points the OoO core exposes to speculation
+ * engines (ESP, runahead).
+ *
+ * The core calls onStall() when it detects the situation the paper
+ * keys on: a long-latency LLC miss has reached the head of the ROB (or
+ * has frozen instruction fetch) and the core will sit idle for a known
+ * number of cycles. The engine may spend those cycles pre-executing.
+ */
+
+#ifndef ESPSIM_CPU_HOOKS_HH
+#define ESPSIM_CPU_HOOKS_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+#include "trace/micro_op.hh"
+
+namespace espsim
+{
+
+/** What blocked the core. */
+enum class StallKind
+{
+    InstrLlcMiss, //!< instruction fetch missed in the LLC
+    DataLlcMiss,  //!< load at ROB head missed in the LLC
+};
+
+/** Description of one idle window. */
+struct StallContext
+{
+    Cycle now = 0;        //!< cycle the idle window begins
+    Cycle idleCycles = 0; //!< its length
+    StallKind kind = StallKind::DataLlcMiss;
+    std::size_t triggerOpIdx = 0; //!< current-event op index at stall
+    /** Destination register of the blocking LLC-miss load (noReg for
+     *  instruction-side stalls); runahead seeds its invalid set here. */
+    std::uint8_t missDest = noReg;
+};
+
+/** Callbacks from the core; default implementation does nothing. */
+class CoreHooks
+{
+  public:
+    virtual ~CoreHooks() = default;
+
+    /** A new event is about to execute (after looper overhead). */
+    virtual void
+    onEventStart(std::size_t event_idx, Cycle now)
+    {
+        (void)event_idx;
+        (void)now;
+    }
+
+    /** The current event finished. */
+    virtual void
+    onEventEnd(std::size_t event_idx, Cycle now)
+    {
+        (void)event_idx;
+        (void)now;
+    }
+
+    /** Called before each op of the current event executes. */
+    virtual void
+    beforeOp(std::size_t op_idx, const MicroOp &op, Cycle now)
+    {
+        (void)op_idx;
+        (void)op;
+        (void)now;
+    }
+
+    /** The core idles; the engine may use the window. */
+    virtual void
+    onStall(const StallContext &ctx)
+    {
+        (void)ctx;
+    }
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_CPU_HOOKS_HH

@@ -1,0 +1,257 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+namespace espsim
+{
+
+OoOCore::OoOCore(const CoreConfig &config, MemoryHierarchy &mem,
+                 PentiumMPredictor &bp, const PrefetcherConfig &prefetch,
+                 CoreHooks &hooks)
+    : config_(config), mem_(mem), bp_(bp), hooks_(hooks),
+      prefetchCfg_(prefetch)
+{
+}
+
+void
+OoOCore::advanceSlot()
+{
+    if (++slotInCycle_ >= config_.width) {
+        slotInCycle_ = 0;
+        ++fetchCycle_;
+    }
+}
+
+void
+OoOCore::retireForSpace(const MicroOp &next_op)
+{
+    if (rob_.size() < config_.robSize)
+        return;
+    const RobEntry head = rob_.front();
+    rob_.pop_front();
+    const Cycle retire_at = std::max(head.complete, lastRetire_);
+    lastRetire_ = retire_at;
+    if (retire_at > fetchCycle_) {
+        const Cycle idle = retire_at - fetchCycle_;
+        stats_.robStallCycles += idle;
+        (void)next_op;
+        fetchCycle_ = retire_at;
+        slotInCycle_ = 0;
+    }
+}
+
+void
+OoOCore::processOp(const MicroOp &op)
+{
+    retireForSpace(op);
+
+    // --- Fetch: access the I-cache on block transitions. ------------
+    const Addr iblock = blockAlign(op.pc);
+    if (iblock != curFetchBlock_) {
+        curFetchBlock_ = iblock;
+        const AccessResult fetch = mem_.accessInstr(op.pc, fetchCycle_);
+        if (prefetchCfg_.nextLineInstr)
+            nlInstr_.notifyAccess(mem_, op.pc, fetchCycle_);
+        const Cycle l1_lat = mem_.config().l1i.hitLatency;
+        const Cycle hidden = l1_lat + config_.fetchQueueHide;
+        if (fetch.latency > hidden) {
+            const Cycle bubble = fetch.latency - hidden;
+            stats_.icacheStallCycles += bubble;
+            if (fetch.llcMiss())
+                ++stats_.llcMissesInstr;
+            if (bubble >= config_.stallReportThreshold) {
+                ++stats_.stallWindows;
+                StallContext ctx;
+                ctx.now = fetchCycle_;
+                ctx.idleCycles = bubble;
+                ctx.kind = StallKind::InstrLlcMiss;
+                ctx.triggerOpIdx = curOpIdx_;
+                hooks_.onStall(ctx);
+            }
+            fetchCycle_ += bubble;
+            slotInCycle_ = 0;
+        }
+    }
+
+    // Dependency-limited issue: a consumer of the immediately
+    // preceding producer can't issue in the same slot, and loads add a
+    // load-to-use slot — this keeps the no-stall IPC of real code
+    // (~2-2.5) rather than the fetch-width bound.
+    if ((op.srcA != noReg && op.srcA == lastDest_) ||
+        (op.srcB != noReg && op.srcB == lastDest_)) {
+        advanceSlot();
+        advanceSlot();
+        advanceSlot();
+    }
+    if (op.isLoad()) {
+        advanceSlot();
+        advanceSlot();
+    }
+    lastDest_ = op.dest;
+
+    const Cycle dispatch = fetchCycle_;
+    Cycle complete = dispatch + config_.pipelineDepth;
+    RobEntry entry;
+
+    switch (op.type) {
+      case OpType::IntAlu:
+        break;
+      case OpType::FpAlu:
+        complete += config_.fpExtraLatency;
+        break;
+      case OpType::Load:
+      case OpType::Store: {
+        // LSQ occupancy: wait for the oldest memory op to complete
+        // when all 16 slots are busy. A long-latency LLC miss holding
+        // the LSQ full is the same idle-window opportunity as one at
+        // the head of the ROB, so it is reported to the stall engine.
+        while (lsq_.size() >= config_.lsqSize) {
+            const LsqEntry oldest = lsq_.front();
+            lsq_.pop_front();
+            if (oldest.complete > fetchCycle_) {
+                stats_.lsqStallCycles += oldest.complete - fetchCycle_;
+                fetchCycle_ = oldest.complete;
+                slotInCycle_ = 0;
+            }
+        }
+        const bool is_store = op.isStore();
+        const AccessResult res =
+            mem_.accessData(op.memAddr, is_store, fetchCycle_);
+        if (is_store) {
+            ++stats_.stores;
+            // Stores retire without waiting for the fill.
+            complete = dispatch + config_.pipelineDepth;
+        } else {
+            ++stats_.loads;
+            const Cycle l1_lat = mem_.config().l1d.hitLatency;
+            complete = dispatch + config_.pipelineDepth + res.latency -
+                l1_lat;
+            if (res.llcMiss()) {
+                ++stats_.llcMissesData;
+                entry.llcMissLoad = true;
+                entry.llcMissDest = op.dest;
+            }
+            // The paper's ESP/runahead trigger: a long-latency miss
+            // will block the ROB head for roughly its fill time; the
+            // speculation engine gets that shadow as budget.
+            const Cycle shadow =
+                res.latency > l1_lat ? res.latency - l1_lat : 0;
+            if (shadow >= config_.stallReportThreshold) {
+                ++stats_.stallWindows;
+                StallContext sctx;
+                sctx.now = fetchCycle_;
+                sctx.idleCycles = shadow;
+                sctx.kind = StallKind::DataLlcMiss;
+                sctx.triggerOpIdx = curOpIdx_;
+                sctx.missDest = op.dest;
+                hooks_.onStall(sctx);
+            }
+            if (prefetchCfg_.nextLineData)
+                nlData_.notifyAccess(mem_, op.memAddr, fetchCycle_);
+            if (prefetchCfg_.strideData) {
+                strideData_.notifyAccess(mem_, op.pc, op.memAddr,
+                                         fetchCycle_);
+            }
+        }
+        // Only in-flight misses occupy modeled LSQ/MSHR slots; hits
+        // complete within the pipeline and release immediately.
+        if (res.latency > mem_.config().l1d.hitLatency) {
+            LsqEntry lentry;
+            lentry.complete = complete;
+            lentry.llcMissLoad = entry.llcMissLoad;
+            lentry.llcMissDest = entry.llcMissDest;
+            lsq_.push_back(lentry);
+        }
+        break;
+      }
+      case OpType::BranchCond:
+      case OpType::BranchDirect:
+      case OpType::BranchIndirect:
+      case OpType::Call:
+      case OpType::Return: {
+        ++stats_.branches;
+        if (!config_.perfectBranch) {
+            const BranchResult res = bp_.executeBranch(op);
+            if (res == BranchResult::Mispredict) {
+                ++stats_.mispredicts;
+                stats_.branchStallCycles += config_.mispredictPenalty;
+                fetchCycle_ = dispatch + config_.mispredictPenalty;
+                slotInCycle_ = 0;
+            } else if (res == BranchResult::BtbMiss) {
+                ++stats_.btbMisses;
+                stats_.branchStallCycles += config_.btbMissPenalty;
+                fetchCycle_ += config_.btbMissPenalty;
+                slotInCycle_ = 0;
+            }
+        }
+        break;
+      }
+    }
+
+    entry.complete = complete;
+    rob_.push_back(entry);
+    ++stats_.instructions;
+    advanceSlot();
+}
+
+void
+OoOCore::drainRob()
+{
+    Cycle last = fetchCycle_;
+    bool miss_pending = false;
+    std::uint8_t miss_dest = noReg;
+    for (const RobEntry &e : rob_) {
+        last = std::max(last, e.complete);
+        if (e.llcMissLoad && e.complete > fetchCycle_) {
+            miss_pending = true;
+            miss_dest = e.llcMissDest;
+        }
+    }
+    // The drain just accounts remaining completion time; outstanding
+    // misses were already reported to the engine at detection time.
+    if (miss_pending && last > fetchCycle_)
+        stats_.robStallCycles += last - fetchCycle_;
+    (void)miss_dest;
+    rob_.clear();
+    lsq_.clear();
+    fetchCycle_ = std::max(fetchCycle_, last);
+    slotInCycle_ = 0;
+    lastRetire_ = std::max(lastRetire_, fetchCycle_);
+}
+
+void
+OoOCore::executeLooperOverhead()
+{
+    // The looper thread's dequeue/bookkeeping instructions (§3.6):
+    // hot code, no misses; they just advance time — and give ESP its
+    // pre-event prefetch window.
+    const Cycle gap =
+        (config_.looperOverheadInstr + config_.width - 1) / config_.width;
+    fetchCycle_ += gap;
+    slotInCycle_ = 0;
+    stats_.instructions += config_.looperOverheadInstr;
+}
+
+void
+OoOCore::run(const Workload &workload)
+{
+    for (std::size_t idx = 0; idx < workload.numEvents(); ++idx) {
+        // The hook fires before the looper-gap instructions so the ESP
+        // list prefetcher gets its ~70-instruction head start (§3.6).
+        hooks_.onEventStart(idx, fetchCycle_);
+        executeLooperOverhead();
+        const EventTrace &event = workload.event(idx);
+        curFetchBlock_ = ~Addr{0};
+        for (std::size_t i = 0; i < event.ops.size(); ++i) {
+            curOpIdx_ = i;
+            hooks_.beforeOp(i, event.ops[i], fetchCycle_);
+            processOp(event.ops[i]);
+        }
+        drainRob();
+        ++stats_.events;
+        hooks_.onEventEnd(idx, fetchCycle_);
+    }
+    stats_.cycles = fetchCycle_;
+}
+
+} // namespace espsim

@@ -1,0 +1,36 @@
+#include "energy/energy_model.hh"
+
+namespace espsim
+{
+
+EnergyBreakdown
+EnergyModel::compute(const EnergyInputs &in) const
+{
+    EnergyBreakdown out;
+
+    out.staticEnergy =
+        config_.staticPerCycle * static_cast<double>(in.cycles);
+
+    out.mispredictEnergy =
+        config_.mispredictWork * static_cast<double>(in.mispredicts);
+
+    double dynamic = 0.0;
+    dynamic += config_.instrDynamic *
+        static_cast<double>(in.instructions);
+    dynamic += config_.bpAccess * static_cast<double>(in.branches);
+    dynamic += config_.l1Access * static_cast<double>(in.l1Accesses);
+    dynamic += config_.l2Access * static_cast<double>(in.l2Accesses);
+    dynamic += config_.memAccess * static_cast<double>(in.memAccesses);
+    // Speculative pre-execution re-runs the pipeline but hits the
+    // small cachelets instead of the L1s.
+    dynamic += (config_.instrDynamic + config_.cacheletAccess) *
+        static_cast<double>(in.speculativeInstrs);
+    dynamic +=
+        config_.cacheletAccess * static_cast<double>(in.cacheletAccesses);
+    dynamic += config_.listEntry * static_cast<double>(in.listEntries);
+    out.restDynamic = dynamic;
+
+    return out;
+}
+
+} // namespace espsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Event-based energy model standing in for McPAT 1.2 + CACTI 5.3
+ * (paper §5, Figure 14).
+ *
+ * Energy = static leakage x cycles
+ *        + per-event dynamic energies (instructions, cache accesses at
+ *          each level, predictor accesses, wasted wrong-path work on
+ *          mispredicts)
+ *        + ESP additions (cachelet and list accesses, pre-executed
+ *          instructions).
+ *
+ * Units are arbitrary (pJ-like); the paper's Figure 14 reports energy
+ * *relative to NL*, which is what the fig14 bench reproduces, so only
+ * the composition matters, not the absolute scale.
+ */
+
+#ifndef ESPSIM_ENERGY_ENERGY_MODEL_HH
+#define ESPSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** Per-event energy coefficients (32 nm-ish relative magnitudes). */
+struct EnergyConfig
+{
+    double instrDynamic = 13.0;   //!< fetch+rename+issue+execute per op
+    double l1Access = 3.5;
+    double l2Access = 16.0;
+    double memAccess = 110.0;
+    double bpAccess = 1.0;        //!< per predicted branch
+    /** Wasted wrong-path work per mispredict (flush depth x width x
+     *  partial issue). */
+    double mispredictWork = 160.0;
+    double cacheletAccess = 0.8;  //!< 6 KB L0 is cheaper than L1
+    double listEntry = 0.4;       //!< compressed list read or write
+    double staticPerCycle = 16.0; //!< whole-core leakage per cycle
+};
+
+/** Raw activity counts the model converts to energy. */
+struct EnergyInputs
+{
+    Cycle cycles = 0;
+    InstCount instructions = 0;      //!< committed, normal mode
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t l1Accesses = 0;    //!< I + D demand
+    std::uint64_t l2Accesses = 0;    //!< L1 misses + prefetch probes
+    std::uint64_t memAccesses = 0;   //!< LLC misses
+    InstCount speculativeInstrs = 0; //!< ESP pre-exec or runahead
+    std::uint64_t cacheletAccesses = 0;
+    std::uint64_t listEntries = 0;   //!< records written + replayed
+};
+
+/** Energy decomposition matching Figure 14's stacking. */
+struct EnergyBreakdown
+{
+    double staticEnergy = 0;
+    double mispredictEnergy = 0;
+    double restDynamic = 0;
+
+    double
+    total() const
+    {
+        return staticEnergy + mispredictEnergy + restDynamic;
+    }
+};
+
+/** The model: pure function of inputs and coefficients. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyConfig &config = EnergyConfig{})
+        : config_(config)
+    {
+    }
+
+    const EnergyConfig &config() const { return config_; }
+
+    EnergyBreakdown compute(const EnergyInputs &in) const;
+
+  private:
+    EnergyConfig config_;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,29 @@
+#include "esp/config.hh"
+
+namespace espsim
+{
+
+std::size_t
+EspConfig::hardwareBytes(unsigned depth) const
+{
+    // Per-mode accounting mirroring the paper's Figure 8.
+    const unsigned iways = icachelet.assoc;
+    const unsigned dways = dcachelet.assoc;
+    // ESP-1 owns all ways but one; ESP-2 owns the reserved way.
+    const std::size_t icl = depth == 0
+        ? icachelet.sizeBytes * (iways - 1) / iways
+        : icachelet.sizeBytes / iways;
+    const std::size_t dcl = depth == 0
+        ? dcachelet.sizeBytes * (dways - 1) / dways
+        : dcachelet.sizeBytes / dways;
+
+    const unsigned i = depth < 2 ? depth : 1;
+    constexpr std::size_t rratBytes = 28;       // 32-entry RAT
+    constexpr std::size_t eventQueueBytes = 8;  // 2-entry queue share
+    constexpr std::size_t specialRegBytes = 12; // PC/SP/flags/mode
+
+    return icl + dcl + iListBytes[i] + dListBytes[i] + bListDirBytes[i] +
+        bListTgtBytes[i] + rratBytes + eventQueueBytes + specialRegBytes;
+}
+
+} // namespace espsim

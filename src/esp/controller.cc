@@ -1,0 +1,559 @@
+#include "esp/controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+namespace
+{
+
+/** Penalties charged during pre-execution (match CoreConfig defaults). */
+constexpr Cycle specMispredictPenalty = 15;
+constexpr Cycle specBtbMissPenalty = 6;
+
+EspDepth
+depthEnum(unsigned d)
+{
+    return d == 0 ? EspDepth::Esp1 : EspDepth::Esp2;
+}
+
+} // namespace
+
+EspController::EspController(const EspConfig &config,
+                             MemoryHierarchy &mem, PentiumMPredictor &bp,
+                             const Workload &workload,
+                             unsigned core_width)
+    : config_(config), mem_(mem), bp_(bp), workload_(workload),
+      width_(core_width), icachelet_(config.icachelet),
+      dcachelet_(config.dcachelet), slots_(config.maxDepth),
+      instrWorkingSets_(config.maxDepth),
+      dataWorkingSets_(config.maxDepth)
+{
+    if (config_.maxDepth == 0)
+        fatal("EspConfig.maxDepth must be at least 1");
+    for (unsigned d = 0; d < config_.maxDepth; ++d) {
+        slots_[d].ilist = AddressList(
+            config_.listBytes(config_.iListBytes, d));
+        slots_[d].dlist = AddressList(
+            config_.listBytes(config_.dListBytes, d));
+        slots_[d].blist = BranchList(
+            config_.listBytes(config_.bListDirBytes, d),
+            config_.listBytes(config_.bListTgtBytes, d));
+    }
+    queue_.refill(workload_, 0);
+}
+
+void
+EspController::activate(SpecContext &sc, std::size_t event_idx)
+{
+    const unsigned d = static_cast<unsigned>(&sc - slots_.data());
+    sc.eventIdx = event_idx;
+    sc.opIdx = 0;
+    sc.active = true;
+    sc.exhausted = false;
+    sc.curFetchBlock = ~Addr{0};
+    sc.bpCtx.clear();
+    sc.ilist = AddressList(config_.listBytes(config_.iListBytes, d));
+    sc.dlist = AddressList(config_.listBytes(config_.dListBytes, d));
+    sc.blist = BranchList(config_.listBytes(config_.bListDirBytes, d),
+                          config_.listBytes(config_.bListTgtBytes, d));
+    sc.instrBlocks.clear();
+    sc.dataBlocks.clear();
+    sc.replica.reset();
+    if (config_.branchPolicy == BranchPolicy::SeparatePirAndTables &&
+        !config_.naiveMode) {
+        sc.replica = std::make_unique<PentiumMPredictor>(bp_.clone());
+        sc.replica->swapContext(BpContext{});
+    }
+    if (d < HardwareEventQueue::depth) {
+        EventQueueEntry &entry = queue_.entry(d);
+        if (entry.valid && entry.eventIdx == event_idx)
+            entry.executionUnderway = true;
+    }
+
+    ++stats_.eventsPreExecuted;
+    const EventTrace &ev = workload_.event(event_idx);
+    if (!ev.independent())
+        ++stats_.divergedEventsPreExecuted;
+    stats_.specMatchSum += ev.speculativeMatchFraction();
+}
+
+void
+EspController::finishSpec(SpecContext &sc, bool reached_end)
+{
+    sc.exhausted = true;
+    if (reached_end)
+        ++stats_.eventsPreExecutedToEnd;
+}
+
+AccessResult
+EspController::speculativeFetch(unsigned d, SpecContext &sc, Addr pc)
+{
+    const Addr blk = blockAlign(pc);
+    if (config_.trackWorkingSets && !(config_.ideal || d >= 2))
+        sc.instrBlocks.insert(blk);
+
+    const Cycle l1_lat = config_.icachelet.hitLatency;
+    bool hit;
+    if (config_.ideal || d >= 2) {
+        // Unbounded cachelet model: the tracking set is the tag store.
+        hit = !sc.instrBlocks.insert(blk).second;
+    } else {
+        hit = icachelet_.lookupFor(depthEnum(d), pc);
+    }
+    if (hit)
+        return {l1_lat, HitLevel::L1};
+
+    const AccessResult res = mem_.probeInstr(pc);
+    if (!config_.ideal && d < 2)
+        icachelet_.insertFor(depthEnum(d), pc);
+    if (config_.useIList) {
+        if (!sc.ilist.append(pc, sc.opIdx))
+            ++stats_.iListOverflows;
+    }
+    return res;
+}
+
+AccessResult
+EspController::speculativeData(unsigned d, SpecContext &sc,
+                               const MicroOp &op)
+{
+    const Addr blk = blockAlign(op.memAddr);
+    if (config_.trackWorkingSets && !(config_.ideal || d >= 2))
+        sc.dataBlocks.insert(blk);
+
+    const Cycle l1_lat = config_.dcachelet.hitLatency;
+    bool hit;
+    if (config_.ideal || d >= 2) {
+        hit = !sc.dataBlocks.insert(blk).second;
+    } else {
+        hit = dcachelet_.lookupFor(depthEnum(d), op.memAddr);
+    }
+    (void)blk;
+    if (hit) {
+        if (op.isStore() && !config_.ideal && d < 2) {
+            // Speculative stores stay in the cachelet, never written
+            // back (§3.4/§4.4).
+            dcachelet_.insertFor(depthEnum(d), op.memAddr, true);
+        }
+        return {l1_lat, HitLevel::L1};
+    }
+
+    const AccessResult res = mem_.probeData(op.memAddr);
+    if (!config_.ideal && d < 2)
+        dcachelet_.insertFor(depthEnum(d), op.memAddr, op.isStore());
+    if (config_.useDList) {
+        if (!sc.dlist.append(op.memAddr, sc.opIdx))
+            ++stats_.dListOverflows;
+    }
+    return res;
+}
+
+std::uint64_t
+EspController::runSpec(unsigned d, std::uint64_t budget_q,
+                       bool &want_deeper)
+{
+    want_deeper = false;
+    SpecContext &sc = slots_[d];
+    // The runtime predicts which event runs d+1 dispatches from now
+    // (§4.5); for single-queue loopers this is simply current + d + 1.
+    const std::size_t target =
+        workload_.predictedNext(curEventIdx_, d + 1);
+    if (target >= workload_.numEvents() || target == curEventIdx_)
+        return 0;
+
+    if (!sc.active || sc.eventIdx != target)
+        activate(sc, target);
+    if (!config_.reentrant && sc.active && sc.opIdx > 0 &&
+        !sc.exhausted) {
+        // Non-re-entrant ablation: restart from the event beginning on
+        // every visit (the design §3.4 argues against).
+        sc.opIdx = 0;
+        sc.curFetchBlock = ~Addr{0};
+    }
+    if (sc.exhausted) {
+        want_deeper = true;
+        return 0;
+    }
+
+    const EventTrace &ev = workload_.event(target);
+    const std::size_t spec_size = ev.speculativeSize();
+
+    // Select the predictor/context for this mode per the policy.
+    PentiumMPredictor *pred = &bp_;
+    bool swapped = false;
+    BpContext saved;
+    if (config_.naiveMode ||
+        config_.branchPolicy == BranchPolicy::NoExtraHardware) {
+        // Shared context: pre-execution pollutes the normal PIR/RAS.
+    } else if (config_.branchPolicy ==
+                   BranchPolicy::SeparatePirAndTables &&
+               sc.replica) {
+        pred = sc.replica.get();
+    } else {
+        saved = bp_.swapContext(std::move(sc.bpCtx));
+        swapped = true;
+    }
+
+    std::uint64_t spent = 0;
+    const bool record_blist = !config_.naiveMode && config_.useBList;
+
+    while (spent < budget_q) {
+        if (sc.opIdx >= spec_size) {
+            finishSpec(sc, true);
+            want_deeper = true;
+            break;
+        }
+        // Bound how deep one event is pre-executed: past roughly the
+        // lists' reach, further pre-execution only perturbs shared
+        // predictor state for hints that cannot be stored.
+        if (!config_.naiveMode && !config_.ideal &&
+            sc.opIdx >= config_.maxPreExecPerEvent) {
+            finishSpec(sc, false);
+            want_deeper = true;
+            break;
+        }
+        const MicroOp &op = ev.speculativeOp(sc.opIdx);
+        spent += 1; // one issue slot (1/width cycle)
+
+        // --- speculative instruction fetch --------------------------
+        const Addr iblk = blockAlign(op.pc);
+        if (iblk != sc.curFetchBlock) {
+            sc.curFetchBlock = iblk;
+            AccessResult res;
+            if (config_.naiveMode) {
+                res = mem_.accessInstr(op.pc, 0);
+            } else {
+                res = speculativeFetch(d, sc, op.pc);
+            }
+            const Cycle l1_lat = config_.icachelet.hitLatency;
+            if (res.latency > l1_lat) {
+                // The ESP-mode core is itself out of order; most of a
+                // fill's latency overlaps with useful pre-execution.
+                spent += (res.latency - l1_lat) * width_ / 8;
+            }
+            if (res.llcMiss() && d + 1 < config_.maxDepth &&
+                workload_.predictedNext(curEventIdx_, d + 2) <
+                    workload_.numEvents()) {
+                // Jump ahead one more event; the fill completes in the
+                // background (already inserted into the cachelet).
+                spent += config_.contextSwitchCycles * width_;
+                want_deeper = true;
+                break;
+            }
+        }
+
+        // --- branches ------------------------------------------------
+        if (op.isBranchOp()) {
+            const BranchResult res = pred->executeBranch(op, false);
+            if (res == BranchResult::Mispredict)
+                spent += specMispredictPenalty * width_;
+            else if (res == BranchResult::BtbMiss)
+                spent += specBtbMissPenalty * width_;
+            if (record_blist) {
+                BranchRecord rec;
+                rec.pc = op.pc;
+                rec.instCount = sc.opIdx;
+                rec.target = op.branchTarget;
+                rec.type = op.type;
+                rec.taken = op.taken;
+                rec.indirect = op.type == OpType::BranchIndirect;
+                if (!sc.blist.append(rec))
+                    ++stats_.bListOverflows;
+            }
+        }
+
+        // --- memory ---------------------------------------------------
+        bool jumped_on_data = false;
+        if (op.isMemoryOp()) {
+            AccessResult res;
+            if (config_.naiveMode) {
+                res = mem_.accessData(op.memAddr, op.isStore(), 0);
+            } else {
+                res = speculativeData(d, sc, op);
+            }
+            const Cycle l1_lat = config_.dcachelet.hitLatency;
+            if (op.isLoad() && res.latency > l1_lat) {
+                // Loads overlap in the OoO window; charge a fraction
+                // of the exposed latency.
+                spent += (res.latency - l1_lat) * width_ / 8;
+            }
+            if (res.llcMiss() && op.isLoad() &&
+                d + 1 < config_.maxDepth &&
+                workload_.predictedNext(curEventIdx_, d + 2) <
+                    workload_.numEvents()) {
+                spent += config_.contextSwitchCycles * width_;
+                jumped_on_data = true;
+            }
+        }
+
+        ++sc.opIdx;
+        ++stats_.preExecutedInstrs;
+        if (d >= 1)
+            ++stats_.preExecutedInstrsDeep;
+        if (jumped_on_data) {
+            want_deeper = true;
+            break;
+        }
+    }
+
+    if (swapped)
+        sc.bpCtx = bp_.swapContext(std::move(saved));
+    return spent;
+}
+
+void
+EspController::onStall(const StallContext &ctx)
+{
+    if (curEventIdx_ + 1 >= workload_.numEvents())
+        return;
+    ++stats_.jumps;
+
+    std::uint64_t budget_q =
+        static_cast<std::uint64_t>(ctx.idleCycles) * width_;
+    if (config_.naiveMode)
+        mem_.setStatCounting(false);
+
+    unsigned d = 0;
+    while (budget_q > 0 && d < config_.maxDepth) {
+        bool deeper = false;
+        const std::uint64_t spent = runSpec(d, budget_q, deeper);
+        budget_q -= std::min(spent, budget_q);
+        if (!deeper)
+            break;
+        ++d;
+        if (d < config_.maxDepth && budget_q > 0)
+            ++stats_.deepJumps;
+    }
+
+    if (config_.naiveMode)
+        mem_.setStatCounting(true);
+}
+
+AddressList
+EspController::rebuildWithCapacity(const AddressList &src,
+                                   std::size_t cap_bytes)
+{
+    AddressList out(cap_bytes);
+    for (const AddressRecord &rec : src.records()) {
+        for (unsigned k = 0; k <= rec.runLength; ++k) {
+            if (!out.append(rec.blockAddr + k * blockBytes,
+                            rec.instCount)) {
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+void
+EspController::promoteContexts(std::size_t finished_idx)
+{
+    curEventIdx_ = finished_idx + 1;
+
+    // Hand slot 0's recordings to the next normal execution — unless
+    // the runtime's dispatch prediction was wrong, in which case the
+    // queue entry's incorrect-prediction bit vetoes the stale hints
+    // (§4.5).
+    consume_ = ConsumeState{};
+    SpecContext &s0 = slots_[0];
+    if (s0.active && s0.eventIdx != finished_idx + 1)
+        ++stats_.mispredictedDispatches;
+    if (s0.active && s0.eventIdx == finished_idx + 1 &&
+        !config_.naiveMode) {
+        consume_.valid = true;
+        consume_.irecs = s0.ilist.records();
+        consume_.drecs = s0.dlist.records();
+        consume_.brecs = s0.blist.records();
+        if (config_.branchPolicy == BranchPolicy::SeparatePirAndTables &&
+            s0.replica) {
+            // Adopt the replica trained during pre-execution.
+            bp_.copyTablesFrom(*s0.replica);
+        }
+    }
+
+    // Figure 13 sampling: what each still-active context accumulated
+    // at its current depth.
+    if (config_.trackWorkingSets) {
+        for (unsigned d = 0; d < config_.maxDepth; ++d) {
+            SpecContext &sc = slots_[d];
+            if (sc.active && !sc.instrBlocks.empty())
+                instrWorkingSets_[d].record(
+                    static_cast<double>(sc.instrBlocks.size()));
+            if (sc.active && !sc.dataBlocks.empty())
+                dataWorkingSets_[d].record(
+                    static_cast<double>(sc.dataBlocks.size()));
+        }
+    }
+
+    // Shift contexts down one depth (ESP-2 becomes ESP-1, ...), fixing
+    // up list capacities: the promoted event's ESP-2 entries are
+    // copied ahead of the ESP-1 head (§4.2).
+    for (unsigned d = 0; d + 1 < config_.maxDepth; ++d) {
+        slots_[d] = std::move(slots_[d + 1]);
+        if (slots_[d].active && !config_.ideal) {
+            slots_[d].ilist = rebuildWithCapacity(
+                slots_[d].ilist,
+                config_.listBytes(config_.iListBytes, d));
+            slots_[d].dlist = rebuildWithCapacity(
+                slots_[d].dlist,
+                config_.listBytes(config_.dListBytes, d));
+        }
+    }
+    slots_[config_.maxDepth - 1] = SpecContext{};
+    slots_[config_.maxDepth - 1].ilist = AddressList(config_.listBytes(
+        config_.iListBytes, config_.maxDepth - 1));
+    slots_[config_.maxDepth - 1].dlist = AddressList(config_.listBytes(
+        config_.dListBytes, config_.maxDepth - 1));
+    slots_[config_.maxDepth - 1].blist =
+        BranchList(config_.listBytes(config_.bListDirBytes,
+                                     config_.maxDepth - 1),
+                   config_.listBytes(config_.bListTgtBytes,
+                                     config_.maxDepth - 1));
+
+    icachelet_.rotateReservedWay();
+    dcachelet_.rotateReservedWay();
+    queue_.refill(workload_, curEventIdx_);
+}
+
+void
+EspController::drainPrefetches(std::size_t op_idx, Cycle now)
+{
+    const InstCount lead = config_.ideal
+        ? std::numeric_limits<InstCount>::max() / 2
+        : config_.prefetchLeadInstructions;
+    const InstCount horizon = op_idx + lead;
+
+    if (config_.useIList) {
+        while (consume_.icur < consume_.irecs.size() &&
+               consume_.irecs[consume_.icur].instCount <= horizon) {
+            const AddressRecord &rec = consume_.irecs[consume_.icur++];
+            for (unsigned k = 0; k <= rec.runLength; ++k) {
+                const Addr addr = rec.blockAddr + k * blockBytes;
+                if (config_.ideal) {
+                    mem_.l2().insert(addr);
+                    mem_.l1i().insert(addr);
+                } else {
+                    mem_.prefetchInstr(addr, now);
+                }
+                ++stats_.listPrefetchesInstr;
+            }
+        }
+    }
+    if (config_.useDList) {
+        while (consume_.dcur < consume_.drecs.size() &&
+               consume_.drecs[consume_.dcur].instCount <= horizon) {
+            const AddressRecord &rec = consume_.drecs[consume_.dcur++];
+            for (unsigned k = 0; k <= rec.runLength; ++k) {
+                const Addr addr = rec.blockAddr + k * blockBytes;
+                if (config_.ideal) {
+                    mem_.l2().insert(addr);
+                    mem_.l1d().insert(addr);
+                } else {
+                    mem_.prefetchData(addr, now);
+                }
+                ++stats_.listPrefetchesData;
+            }
+        }
+    }
+}
+
+void
+EspController::trainAhead(Cycle now)
+{
+    (void)now;
+    if (!config_.useBList ||
+        config_.branchPolicy != BranchPolicy::SeparatePirPlusBList) {
+        return;
+    }
+    const std::size_t horizon =
+        consume_.branchesExecuted + config_.branchTrainLookahead;
+    while (consume_.bcur < consume_.brecs.size() &&
+           consume_.bcur < horizon) {
+        const BranchRecord &rec = consume_.brecs[consume_.bcur++];
+        bp_.train(consume_.trainCtx, rec.pc, rec.type, rec.taken,
+                  rec.target);
+        ++stats_.branchesPreTrained;
+    }
+}
+
+void
+EspController::onEventStart(std::size_t event_idx, Cycle now)
+{
+    if (event_idx != curEventIdx_) {
+        // First event of the run (or a harness driving events out of
+        // band): resynchronise.
+        curEventIdx_ = event_idx;
+        queue_.refill(workload_, event_idx);
+    }
+    if (!consume_.valid)
+        return;
+    // Pre-event window: the looper's queue-management instructions run
+    // between onEventStart and the first event op, so list prefetches
+    // for the event head go out before the event begins (§3.6).
+    drainPrefetches(0, now);
+    consume_.trainCtx.clear();
+    trainAhead(now);
+}
+
+void
+EspController::onEventEnd(std::size_t event_idx, Cycle now)
+{
+    (void)now;
+    promoteContexts(event_idx);
+}
+
+void
+EspController::beforeOp(std::size_t op_idx, const MicroOp &op, Cycle now)
+{
+    if (!consume_.valid)
+        return;
+    drainPrefetches(op_idx, now);
+    if (op.isBranchOp()) {
+        trainAhead(now);
+        ++consume_.branchesExecuted;
+    }
+}
+
+void
+EspController::report(StatGroup &out, const std::string &prefix) const
+{
+    out.set(prefix + "jumps", static_cast<double>(stats_.jumps));
+    out.set(prefix + "deep_jumps",
+            static_cast<double>(stats_.deepJumps));
+    out.set(prefix + "pre_executed_instrs",
+            static_cast<double>(stats_.preExecutedInstrs));
+    out.set(prefix + "pre_executed_instrs_deep",
+            static_cast<double>(stats_.preExecutedInstrsDeep));
+    out.set(prefix + "events_pre_executed",
+            static_cast<double>(stats_.eventsPreExecuted));
+    out.set(prefix + "events_pre_executed_to_end",
+            static_cast<double>(stats_.eventsPreExecutedToEnd));
+    out.set(prefix + "list_prefetches_instr",
+            static_cast<double>(stats_.listPrefetchesInstr));
+    out.set(prefix + "list_prefetches_data",
+            static_cast<double>(stats_.listPrefetchesData));
+    out.set(prefix + "branches_pre_trained",
+            static_cast<double>(stats_.branchesPreTrained));
+    out.set(prefix + "ilist_overflows",
+            static_cast<double>(stats_.iListOverflows));
+    out.set(prefix + "dlist_overflows",
+            static_cast<double>(stats_.dListOverflows));
+    out.set(prefix + "blist_overflows",
+            static_cast<double>(stats_.bListOverflows));
+    out.set(prefix + "diverged_events_pre_executed",
+            static_cast<double>(stats_.divergedEventsPreExecuted));
+    out.set(prefix + "mispredicted_dispatches",
+            static_cast<double>(stats_.mispredictedDispatches));
+    if (stats_.eventsPreExecuted > 0) {
+        out.set(prefix + "spec_match_fraction",
+                stats_.specMatchSum /
+                    static_cast<double>(stats_.eventsPreExecuted));
+    }
+}
+
+} // namespace espsim

@@ -1,0 +1,56 @@
+#include "esp/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+void
+HardwareEventQueue::refill(const Workload &workload,
+                           std::size_t current_idx)
+{
+    for (std::size_t slot = 0; slot < depth; ++slot) {
+        const std::size_t idx = workload.predictedNext(
+            current_idx, static_cast<unsigned>(slot) + 1);
+        EventQueueEntry &e = entries_[slot];
+        if (idx >= workload.numEvents()) {
+            e = EventQueueEntry{};
+            continue;
+        }
+        const EventTrace &trace = workload.event(idx);
+        // Preserve the EU bit when the entry already shows this event
+        // (a pre-execution may be underway across refills).
+        const bool same = e.valid && e.eventIdx == idx;
+        const bool eu = same && e.executionUnderway;
+        e.handlerPc = trace.handlerPc;
+        e.argObjectAddr = trace.argObjectAddr;
+        e.eventIdx = idx;
+        e.executionUnderway = eu;
+        e.incorrectPrediction = false;
+        e.valid = true;
+    }
+}
+
+EventQueueEntry &
+HardwareEventQueue::entry(std::size_t slot)
+{
+    if (slot >= depth)
+        panic("event queue slot %zu out of range", slot);
+    return entries_[slot];
+}
+
+const EventQueueEntry &
+HardwareEventQueue::entry(std::size_t slot) const
+{
+    return const_cast<HardwareEventQueue *>(this)->entry(slot);
+}
+
+void
+HardwareEventQueue::pop()
+{
+    for (std::size_t slot = 0; slot + 1 < depth; ++slot)
+        entries_[slot] = entries_[slot + 1];
+    entries_[depth - 1] = EventQueueEntry{};
+}
+
+} // namespace espsim

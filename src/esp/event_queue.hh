@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The 2-entry hardware event queue of §4.1.
+ *
+ * Software exposes the next events through enqueue/dequeue intrinsics;
+ * each entry holds the handler's starting address, the argument-object
+ * address, an execution-underway (EU) bit, and the §4.5
+ * incorrect-prediction bit that vetoes stale list state when the
+ * runtime mispredicted the dispatch order.
+ */
+
+#ifndef ESPSIM_ESP_EVENT_QUEUE_HH
+#define ESPSIM_ESP_EVENT_QUEUE_HH
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hh"
+#include "trace/workload.hh"
+
+namespace espsim
+{
+
+/** One hardware event-queue register entry. */
+struct EventQueueEntry
+{
+    Addr handlerPc = 0;
+    Addr argObjectAddr = 0;
+    std::size_t eventIdx = 0;        //!< simulator-side identity
+    bool executionUnderway = false;  //!< EU bit
+    bool incorrectPrediction = false;
+    bool valid = false;
+};
+
+/** The register-like 2-deep queue exposed to the ESP hardware. */
+class HardwareEventQueue
+{
+  public:
+    static constexpr std::size_t depth = 2;
+
+    /**
+     * Software's enqueue intrinsic: refresh the queue to show the two
+     * events that follow @p current_idx in the workload.
+     */
+    void refill(const Workload &workload, std::size_t current_idx);
+
+    /** Entry @p slot (0 = next event, 1 = the one after). */
+    EventQueueEntry &entry(std::size_t slot);
+    const EventQueueEntry &entry(std::size_t slot) const;
+
+    /** Dequeue intrinsic: slide entries down one slot. */
+    void pop();
+
+  private:
+    std::array<EventQueueEntry, depth> entries_{};
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_ESP_EVENT_QUEUE_HH

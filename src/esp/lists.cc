@@ -1,0 +1,165 @@
+#include "esp/lists.hh"
+
+#include <cstdlib>
+
+namespace espsim
+{
+
+AddressList::AddressList(std::size_t capacity_bytes)
+    : capacityBits_(capacity_bytes * 8)
+{
+}
+
+bool
+AddressList::charge(std::size_t bits)
+{
+    if (!unbounded() && bitsUsed_ + bits > capacityBits_) {
+        full_ = true;
+        return false;
+    }
+    bitsUsed_ += bits;
+    return true;
+}
+
+bool
+AddressList::append(Addr addr, InstCount inst_count)
+{
+    if (full_)
+        return false;
+    const Addr block = blockAlign(addr);
+
+    // Contiguous with the previous record (accounting for its run)?
+    // Extending a run costs no extra bits (the 3-bit field is already
+    // paid for) as long as the field can still count it.
+    if (!records_.empty()) {
+        AddressRecord &prev = records_.back();
+        const Addr next_in_run =
+            prev.blockAddr + (prev.runLength + 1) * blockBytes;
+        if (block == next_in_run && prev.runLength < 7) {
+            ++prev.runLength;
+            lastBlock_ = block;
+            lastInst_ = inst_count;
+            return true;
+        }
+        if (block == lastBlock_)
+            return true; // re-touch of the same block: nothing to add
+    }
+
+    std::size_t bits = entryBits;
+    if (haveLast_) {
+        const auto delta =
+            static_cast<std::int64_t>(blockNumber(block)) -
+            static_cast<std::int64_t>(blockNumber(lastBlock_));
+        if (delta > 127 || delta < -128) {
+            // Large-offset escape: the next two entries carry the full
+            // 26-bit block address.
+            bits += 2 * entryBits;
+        }
+        const auto inst_delta = static_cast<std::int64_t>(inst_count) -
+            static_cast<std::int64_t>(lastInst_);
+        if (inst_delta > 127) {
+            // Instruction-count offsets beyond 7 bits need padding
+            // entries; one per 127 instructions of gap.
+            bits += entryBits *
+                static_cast<std::size_t>((inst_delta - 1) / 127);
+        }
+    } else {
+        // First entry always carries the full address.
+        bits += 2 * entryBits;
+    }
+
+    if (!charge(bits))
+        return false;
+
+    records_.push_back({block, inst_count, 0});
+    lastBlock_ = block;
+    lastInst_ = inst_count;
+    haveLast_ = true;
+    return true;
+}
+
+void
+AddressList::clear()
+{
+    records_.clear();
+    bitsUsed_ = 0;
+    full_ = false;
+    haveLast_ = false;
+    lastBlock_ = 0;
+    lastInst_ = 0;
+}
+
+BranchList::BranchList(std::size_t dir_capacity_bytes,
+                       std::size_t tgt_capacity_bytes)
+    : dirCapacityBits_(dir_capacity_bytes * 8),
+      tgtCapacityBits_(tgt_capacity_bytes * 8)
+{
+}
+
+bool
+BranchList::append(const BranchRecord &rec)
+{
+    if (full_)
+        return false;
+
+    std::size_t dir_bits = dirEntryBits;
+    if (haveLast_) {
+        const auto delta = static_cast<std::int64_t>(rec.pc >> 2) -
+            static_cast<std::int64_t>(lastPc_ >> 2);
+        if (delta > 7 || delta < -8) {
+            // PC offset escape: extra entries in 6-bit increments until
+            // the offset fits (bounded by a full 26-bit address).
+            std::uint64_t need = static_cast<std::uint64_t>(
+                delta < 0 ? -delta : delta);
+            std::size_t extra = 0;
+            std::uint64_t reach = 8;
+            while (need >= reach && extra < 5) {
+                ++extra;
+                reach <<= 6;
+            }
+            dir_bits += extra * dirEntryBits;
+        }
+    }
+    // Two inst-count entries lead every block of `instCountPeriod`.
+    if (sincePeriod_ == 0)
+        dir_bits += 2 * dirEntryBits;
+
+    std::size_t tgt_bits = 0;
+    if (rec.indirect && rec.taken) {
+        tgt_bits = tgtEntryBits;
+        const auto tdelta = static_cast<std::int64_t>(rec.target) -
+            static_cast<std::int64_t>(rec.pc);
+        if (tdelta > 32767 || tdelta < -32768)
+            tgt_bits += 2 * tgtEntryBits;
+    }
+
+    const bool dir_fits = dirCapacityBits_ == 0 ||
+        dirBits_ + dir_bits <= dirCapacityBits_;
+    const bool tgt_fits = tgtCapacityBits_ == 0 ||
+        tgtBits_ + tgt_bits <= tgtCapacityBits_;
+    if (!dir_fits || !tgt_fits) {
+        full_ = true;
+        return false;
+    }
+
+    dirBits_ += dir_bits;
+    tgtBits_ += tgt_bits;
+    sincePeriod_ = (sincePeriod_ + 1) % instCountPeriod;
+    records_.push_back(rec);
+    lastPc_ = rec.pc;
+    haveLast_ = true;
+    return true;
+}
+
+void
+BranchList::clear()
+{
+    records_.clear();
+    dirBits_ = tgtBits_ = 0;
+    full_ = false;
+    haveLast_ = false;
+    lastPc_ = 0;
+    sincePeriod_ = 0;
+}
+
+} // namespace espsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ESP's compressed hardware prediction lists (paper §3.5, §4.2, §4.3).
+ *
+ * During speculative pre-execution ESP records what the event touched:
+ *  - I-list / D-list: cache-block addresses, delta-encoded against the
+ *    previous entry (8-bit offset + 3-bit contiguous-run length +
+ *    7-bit instruction-count offset + 1 large-offset escape bit; an
+ *    escaped address consumes two extra entries carrying the full
+ *    26-bit block address);
+ *  - B-List-Direction: one 6-bit entry per branch (4-bit PC offset,
+ *    1 direction bit, 1 indirect bit), with the first two entries of
+ *    every thirty carrying a retired-instruction-count offset;
+ *  - B-List-Target: 17-bit entries (16-bit target offset + escape bit)
+ *    for taken indirect branches.
+ *
+ * The classes below keep the *logical* records (block address,
+ * instruction count, outcome...) and charge the exact encoded bit cost
+ * of each append against the list's byte capacity, so the capacity
+ * effects of Figure 8's 499 B / 68 B / ... provisioning are modeled
+ * without bit-twiddling the payloads.
+ */
+
+#ifndef ESPSIM_ESP_LISTS_HH
+#define ESPSIM_ESP_LISTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** One logical record of an I-list or D-list. */
+struct AddressRecord
+{
+    Addr blockAddr = 0;      //!< block-aligned byte address
+    InstCount instCount = 0; //!< event-relative instruction index
+    unsigned runLength = 0;  //!< contiguous blocks that follow
+};
+
+/** Capacity-bounded, delta-encoded list of cache block addresses. */
+class AddressList
+{
+  public:
+    /** @p capacity_bytes 0 means unbounded (the "ideal" ESP designs). */
+    explicit AddressList(std::size_t capacity_bytes);
+
+    /**
+     * Record that @p addr's block was fetched at instruction
+     * @p inst_count. Extends the previous record's run when contiguous.
+     * @return false (and records nothing) once the list is full.
+     */
+    bool append(Addr addr, InstCount inst_count);
+
+    const std::vector<AddressRecord> &records() const { return records_; }
+    std::size_t bitsUsed() const { return bitsUsed_; }
+    std::size_t capacityBits() const { return capacityBits_; }
+    bool full() const { return full_; }
+    bool unbounded() const { return capacityBits_ == 0; }
+    void clear();
+
+    /** Bits of one base entry (8 + 3 + 7 + 1). */
+    static constexpr std::size_t entryBits = 19;
+
+  private:
+    std::size_t capacityBits_;
+    std::size_t bitsUsed_ = 0;
+    bool full_ = false;
+    std::vector<AddressRecord> records_;
+    Addr lastBlock_ = 0;
+    InstCount lastInst_ = 0;
+    bool haveLast_ = false;
+
+    bool charge(std::size_t bits);
+};
+
+/** One logical record of the B-List-Direction (+ target side). */
+struct BranchRecord
+{
+    Addr pc = 0;
+    InstCount instCount = 0;
+    Addr target = 0;   //!< taken target (0 if not taken)
+    OpType type = OpType::BranchCond;
+    bool taken = false;
+    bool indirect = false;
+};
+
+/** Capacity-bounded branch outcome/target list. */
+class BranchList
+{
+  public:
+    /**
+     * @p dir_capacity_bytes bounds B-List-Direction,
+     * @p tgt_capacity_bytes bounds B-List-Target; 0 = unbounded.
+     */
+    BranchList(std::size_t dir_capacity_bytes,
+               std::size_t tgt_capacity_bytes);
+
+    /** Record one executed branch. @return false once full. */
+    bool append(const BranchRecord &rec);
+
+    const std::vector<BranchRecord> &records() const { return records_; }
+    std::size_t dirBitsUsed() const { return dirBits_; }
+    std::size_t tgtBitsUsed() const { return tgtBits_; }
+    bool full() const { return full_; }
+    void clear();
+
+    /** Bits of one direction entry (4 + 1 + 1). */
+    static constexpr std::size_t dirEntryBits = 6;
+    /** Bits of one target entry (16 + 1). */
+    static constexpr std::size_t tgtEntryBits = 17;
+    /** Every this many entries, two entries carry instruction counts. */
+    static constexpr std::size_t instCountPeriod = 30;
+
+  private:
+    std::size_t dirCapacityBits_;
+    std::size_t tgtCapacityBits_;
+    std::size_t dirBits_ = 0;
+    std::size_t tgtBits_ = 0;
+    bool full_ = false;
+    std::vector<BranchRecord> records_;
+    Addr lastPc_ = 0;
+    bool haveLast_ = false;
+    std::size_t sincePeriod_ = 0;
+};
+
+/**
+ * Read cursor over prediction lists: the normal-mode consumption state
+ * (how far prefetching / pre-training has advanced).
+ */
+struct ListCursor
+{
+    std::size_t next = 0;
+
+    template <typename RecordVec>
+    bool
+    exhausted(const RecordVec &records) const
+    {
+        return next >= records.size();
+    }
+
+    void reset() { next = 0; }
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_ESP_LISTS_HH

@@ -1,0 +1,51 @@
+#include "prefetch/inflight.hh"
+
+namespace espsim
+{
+
+InflightPrefetchBuffer::InflightPrefetchBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+bool
+InflightPrefetchBuffer::issue(Addr block_addr, Cycle ready)
+{
+    if (map_.count(block_addr))
+        return false;
+    while (map_.size() >= capacity_ && !fifo_.empty()) {
+        map_.erase(fifo_.front());
+        fifo_.pop_front();
+    }
+    map_.emplace(block_addr, ready);
+    fifo_.push_back(block_addr);
+    return true;
+}
+
+std::optional<Cycle>
+InflightPrefetchBuffer::consume(Addr block_addr)
+{
+    auto it = map_.find(block_addr);
+    if (it == map_.end())
+        return std::nullopt;
+    const Cycle ready = it->second;
+    map_.erase(it);
+    // The fifo_ may retain a stale address; issue() skips entries no
+    // longer present in the map when it evicts.
+    return ready;
+}
+
+bool
+InflightPrefetchBuffer::contains(Addr block_addr) const
+{
+    return map_.count(block_addr) != 0;
+}
+
+void
+InflightPrefetchBuffer::clear()
+{
+    map_.clear();
+    fifo_.clear();
+}
+
+} // namespace espsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bounded tracker of outstanding prefetches (an MSHR-like structure).
+ *
+ * A prefetch issued at cycle C for a block that lives at level L
+ * becomes usable at C + latency(L). The block is inserted into the
+ * target cache immediately (so pollution is modeled), and the ready
+ * time is recorded here; a demand access that arrives before the ready
+ * time pays the residual latency ("late prefetch").
+ */
+
+#ifndef ESPSIM_PREFETCH_INFLIGHT_HH
+#define ESPSIM_PREFETCH_INFLIGHT_HH
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** FIFO-bounded map of in-flight prefetch block addresses. */
+class InflightPrefetchBuffer
+{
+  public:
+    explicit InflightPrefetchBuffer(std::size_t capacity = 64);
+
+    /**
+     * Record a prefetch of @p block_addr completing at @p ready.
+     * When full, the oldest entry is replaced (finite MSHRs).
+     * @return false if the block was already in flight.
+     */
+    bool issue(Addr block_addr, Cycle ready);
+
+    /**
+     * A demand access touched the block: remove and return its ready
+     * cycle (nullopt if not in flight).
+     */
+    std::optional<Cycle> consume(Addr block_addr);
+
+    bool contains(Addr block_addr) const;
+    std::size_t size() const { return map_.size(); }
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, Cycle> map_;
+    std::deque<Addr> fifo_;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_PREFETCH_INFLIGHT_HH

@@ -1,0 +1,4 @@
+// Next-line prefetchers are header-only; this file anchors the
+// translation unit so the build exposes a stable object for the
+// library target.
+#include "prefetch/next_line.hh"

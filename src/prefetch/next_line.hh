@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Next-line prefetchers.
+ *
+ * Instruction side: classic next-line (IBM 360/91 style) — every
+ * demand fetch of block B prefetches B+1.
+ *
+ * Data side: modeled on Intel's DCU prefetcher (Doweck white paper,
+ * paper §5): it waits for multiple accesses to the *same* line in a
+ * short window before prefetching the next line, which filters
+ * non-streaming traffic.
+ */
+
+#ifndef ESPSIM_PREFETCH_NEXT_LINE_HH
+#define ESPSIM_PREFETCH_NEXT_LINE_HH
+
+#include "cache/hierarchy.hh"
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** Next-line instruction prefetcher. */
+class NextLineInstrPrefetcher
+{
+  public:
+    /** Degree = how many sequential blocks to prefetch ahead. */
+    explicit NextLineInstrPrefetcher(unsigned degree = 1)
+        : degree_(degree)
+    {
+    }
+
+    /** Observe a demand instruction fetch; issue next-line prefetches. */
+    void
+    notifyAccess(MemoryHierarchy &mem, Addr addr, Cycle now)
+    {
+        const Addr block = blockAlign(addr);
+        if (block == lastBlock_)
+            return;
+        lastBlock_ = block;
+        for (unsigned d = 1; d <= degree_; ++d)
+            mem.prefetchInstr(block + d * blockBytes, now);
+    }
+
+  private:
+    unsigned degree_;
+    Addr lastBlock_ = ~Addr{0};
+};
+
+/** Intel DCU-style next-line data prefetcher. */
+class DcuPrefetcher
+{
+  public:
+    /** @p trigger_count accesses to one line arm the next-line fetch. */
+    explicit DcuPrefetcher(unsigned trigger_count = 4)
+        : trigger_(trigger_count)
+    {
+    }
+
+    /** Observe a demand data access. */
+    void
+    notifyAccess(MemoryHierarchy &mem, Addr addr, Cycle now)
+    {
+        const Addr block = blockAlign(addr);
+        if (block == lastBlock_) {
+            if (++count_ >= trigger_) {
+                mem.prefetchData(block + blockBytes, now);
+                count_ = 0;
+            }
+        } else {
+            lastBlock_ = block;
+            count_ = 1;
+        }
+    }
+
+  private:
+    unsigned trigger_;
+    Addr lastBlock_ = ~Addr{0};
+    unsigned count_ = 0;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_PREFETCH_NEXT_LINE_HH

@@ -1,0 +1,68 @@
+#include "prefetch/stride.hh"
+
+namespace espsim
+{
+
+StridePrefetcher::StridePrefetcher(std::size_t entries, unsigned degree)
+    : table_(entries), degree_(degree)
+{
+}
+
+std::size_t
+StridePrefetcher::indexOf(Addr pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) % table_.size());
+}
+
+std::uint32_t
+StridePrefetcher::tagOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc >> 2) / table_.size()) &
+        0xffff;
+}
+
+void
+StridePrefetcher::notifyAccess(MemoryHierarchy &mem, Addr pc, Addr addr,
+                               Cycle now)
+{
+    Entry &e = table_[indexOf(pc)];
+    const std::uint32_t tag = tagOf(pc);
+    if (!e.valid || e.tag != tag) {
+        e = Entry{};
+        e.valid = true;
+        e.tag = tag;
+        e.lastAddr = addr;
+        return;
+    }
+    const auto stride = static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(e.lastAddr);
+    if (stride == e.stride && stride != 0) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        e.stride = stride;
+        e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+    }
+    e.lastAddr = addr;
+    if (e.confidence >= 2) {
+        for (unsigned d = 1; d <= degree_; ++d) {
+            const auto target = static_cast<std::int64_t>(addr) +
+                static_cast<std::int64_t>(d) * e.stride;
+            if (target > 0)
+                mem.prefetchData(static_cast<Addr>(target), now);
+        }
+    }
+}
+
+std::size_t
+StridePrefetcher::confidentEntries() const
+{
+    std::size_t n = 0;
+    for (const Entry &e : table_) {
+        if (e.valid && e.confidence >= 2)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace espsim

@@ -1,0 +1,125 @@
+#include "sim/simulator.hh"
+
+#include <memory>
+
+#include "cpu/runahead.hh"
+#include "esp/controller.hh"
+
+namespace espsim
+{
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config))
+{
+}
+
+SimResult
+Simulator::run(const Workload &workload) const
+{
+    MemoryHierarchy mem(config_.memory);
+    PentiumMPredictor bp(config_.branch);
+
+    // Pre-warm the LLC with the application's standing image (the
+    // paper measures a browser session already in flight).
+    for (const AddrRange &range : workload.warmSet()) {
+        for (Addr a = blockAlign(range.first); a < range.second;
+             a += blockBytes) {
+            mem.l2().insert(a);
+        }
+    }
+
+    std::unique_ptr<EspController> esp;
+    std::unique_ptr<RunaheadEngine> runahead;
+    CoreHooks no_hooks;
+    CoreHooks *hooks = &no_hooks;
+
+    switch (config_.engine) {
+      case SpeculationEngine::Esp:
+        esp = std::make_unique<EspController>(config_.esp, mem, bp,
+                                              workload,
+                                              config_.core.width);
+        hooks = esp.get();
+        break;
+      case SpeculationEngine::Runahead:
+        runahead = std::make_unique<RunaheadEngine>(
+            config_.runahead, mem, bp, workload, config_.core.width);
+        hooks = runahead.get();
+        break;
+      case SpeculationEngine::None:
+        break;
+    }
+
+    OoOCore core(config_.core, mem, bp, config_.prefetch, *hooks);
+    core.run(workload);
+
+    SimResult result;
+    result.configName = config_.name;
+    result.workloadName = workload.name();
+    result.core = core.stats();
+    result.cycles = result.core.cycles;
+    result.ipc = result.core.ipc();
+
+    mem.report(result.stats, "mem.");
+    if (esp) {
+        esp->report(result.stats, "esp.");
+        result.instrWorkingSets = esp->instrWorkingSets();
+        result.dataWorkingSets = esp->dataWorkingSets();
+    }
+    if (runahead)
+        runahead->report(result.stats, "runahead.");
+
+    const auto &cs = result.core;
+    result.l1iMpki = cs.instructions == 0
+        ? 0.0
+        : static_cast<double>(mem.l1iMisses()) /
+            (static_cast<double>(cs.instructions) / 1000.0);
+    result.l1dMissRate = mem.l1dAccesses() == 0
+        ? 0.0
+        : static_cast<double>(mem.l1dMisses()) /
+            static_cast<double>(mem.l1dAccesses());
+    result.mispredictRate = cs.branches == 0
+        ? 0.0
+        : static_cast<double>(cs.mispredicts) /
+            static_cast<double>(cs.branches);
+
+    // --- energy ------------------------------------------------------
+    EnergyInputs ein;
+    ein.cycles = cs.cycles;
+    ein.instructions = cs.instructions;
+    ein.branches = cs.branches;
+    ein.mispredicts = cs.mispredicts;
+    ein.l1Accesses = mem.l1iAccesses() + mem.l1dAccesses();
+    ein.l2Accesses = mem.l1iMisses() + mem.l1dMisses() +
+        mem.prefetchesIssued();
+    ein.memAccesses = mem.l2Misses();
+    if (esp) {
+        const EspStats &es = esp->stats();
+        ein.speculativeInstrs = es.preExecutedInstrs;
+        ein.cacheletAccesses = es.preExecutedInstrs / 2;
+        ein.listEntries = es.listPrefetchesInstr +
+            es.listPrefetchesData + es.branchesPreTrained;
+    }
+    if (runahead)
+        ein.speculativeInstrs = runahead->stats().instructions;
+    result.extraInstrFraction = cs.instructions == 0
+        ? 0.0
+        : static_cast<double>(ein.speculativeInstrs) /
+            static_cast<double>(cs.instructions);
+
+    EnergyModel energy(config_.energy);
+    result.energy = energy.compute(ein);
+    result.stats.set("energy.static", result.energy.staticEnergy);
+    result.stats.set("energy.mispredict",
+                     result.energy.mispredictEnergy);
+    result.stats.set("energy.dynamic", result.energy.restDynamic);
+    result.stats.set("energy.total", result.energy.total());
+    result.stats.set("derived.l1i_mpki", result.l1iMpki);
+    result.stats.set("derived.l1d_miss_rate", result.l1dMissRate);
+    result.stats.set("derived.mispredict_rate", result.mispredictRate);
+    result.stats.set("derived.ipc", result.ipc);
+    result.stats.set("derived.extra_instr_fraction",
+                     result.extraInstrFraction);
+
+    return result;
+}
+
+} // namespace espsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The top-level facade: wires a SimConfig into a core + hierarchy +
+ * predictor + (optional) speculation engine, runs a workload, and
+ * returns every statistic the paper's figures need.
+ */
+
+#ifndef ESPSIM_SIM_SIMULATOR_HH
+#define ESPSIM_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "cpu/ooo_core.hh"
+#include "energy/energy_model.hh"
+#include "sim/sim_config.hh"
+#include "trace/workload.hh"
+
+namespace espsim
+{
+
+/** Everything measured in one simulation run. */
+struct SimResult
+{
+    std::string configName;
+    std::string workloadName;
+
+    CoreStats core;
+    EnergyBreakdown energy;
+    StatGroup stats; //!< hierarchy, engine, and derived counters
+
+    // Headline derived metrics.
+    Cycle cycles = 0;
+    double ipc = 0;
+    double l1iMpki = 0;        //!< L1-I misses per kilo-instruction
+    double l1dMissRate = 0;    //!< fraction of L1-D demand accesses
+    double mispredictRate = 0; //!< fraction of executed branches
+    double extraInstrFraction = 0; //!< speculative / committed
+
+    /** Working-set samples per ESP depth (Figure 13 runs only). */
+    std::vector<SampleStat> instrWorkingSets;
+    std::vector<SampleStat> dataWorkingSets;
+
+    /** Speedup of this result over a reference run (same workload). */
+    double
+    speedupOver(const SimResult &ref) const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(ref.cycles) /
+                static_cast<double>(cycles);
+    }
+
+    /** Percent performance improvement over @p ref. */
+    double
+    improvementPctOver(const SimResult &ref) const
+    {
+        return (speedupOver(ref) - 1.0) * 100.0;
+    }
+};
+
+/** One-shot simulator: construct with a config, run workloads. */
+class Simulator
+{
+  public:
+    explicit Simulator(SimConfig config);
+
+    const SimConfig &config() const { return config_; }
+
+    /** Simulate the workload from a cold machine state. */
+    SimResult run(const Workload &workload) const;
+
+  private:
+    SimConfig config_;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,71 @@
+#include "sim/stats_report.hh"
+
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "workload/generator.hh"
+
+namespace espsim
+{
+
+SuiteRunner::SuiteRunner(std::vector<AppProfile> apps)
+    : apps_(std::move(apps))
+{
+    if (apps_.empty())
+        fatal("SuiteRunner needs at least one application profile");
+}
+
+std::vector<SuiteRow>
+SuiteRunner::run(const std::vector<SimConfig> &configs,
+                 bool announce_progress) const
+{
+    std::vector<SuiteRow> rows;
+    rows.reserve(apps_.size());
+    for (const AppProfile &app : apps_) {
+        if (announce_progress)
+            inform("simulating %s ...", app.name.c_str());
+        SyntheticGenerator gen(app);
+        const auto workload = gen.generate();
+        SuiteRow row;
+        row.app = app.name;
+        row.results.reserve(configs.size());
+        for (const SimConfig &config : configs)
+            row.results.push_back(Simulator(config).run(*workload));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+double
+hmeanImprovementPct(const std::vector<SuiteRow> &rows, std::size_t cfg,
+                    std::size_t ref)
+{
+    std::vector<double> speedups;
+    speedups.reserve(rows.size());
+    for (const SuiteRow &row : rows)
+        speedups.push_back(row.results[cfg].speedupOver(row.results[ref]));
+    return (harmonicMean(speedups) - 1.0) * 100.0;
+}
+
+double
+hmeanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
+            const std::function<double(const SimResult &)> &get)
+{
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const SuiteRow &row : rows)
+        values.push_back(get(row.results[cfg]));
+    return harmonicMean(values);
+}
+
+double
+meanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
+           const std::function<double(const SimResult &)> &get)
+{
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const SuiteRow &row : rows)
+        values.push_back(get(row.results[cfg]));
+    return arithmeticMean(values);
+}
+
+} // namespace espsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Suite-level harness helpers shared by every benchmark binary: run a
+ * set of design points over the seven-app suite (generating each app's
+ * workload once), and aggregate results the way the paper does
+ * (harmonic mean across applications).
+ */
+
+#ifndef ESPSIM_SIM_STATS_REPORT_HH
+#define ESPSIM_SIM_STATS_REPORT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workload/app_profile.hh"
+
+namespace espsim
+{
+
+/** All configs' results for one application. */
+struct SuiteRow
+{
+    std::string app;
+    std::vector<SimResult> results; //!< index-aligned with configs
+};
+
+/** Runs design-point sweeps across an application suite. */
+class SuiteRunner
+{
+  public:
+    /** Defaults to the paper's seven web applications. */
+    explicit SuiteRunner(
+        std::vector<AppProfile> apps = AppProfile::webSuite());
+
+    const std::vector<AppProfile> &apps() const { return apps_; }
+
+    /**
+     * Simulate every config on every app. Workloads are generated
+     * once per app and shared across configs (and freed before moving
+     * to the next app, keeping memory bounded).
+     */
+    std::vector<SuiteRow> run(const std::vector<SimConfig> &configs,
+                              bool announce_progress = false) const;
+
+  private:
+    std::vector<AppProfile> apps_;
+};
+
+/**
+ * Harmonic mean across apps of per-app percent improvement of config
+ * @p cfg over config @p ref (both indices into each row's results).
+ * The paper's HMean bars are harmonic means of per-app speedups; we
+ * aggregate speedups harmonically then convert to percent.
+ */
+double hmeanImprovementPct(const std::vector<SuiteRow> &rows,
+                           std::size_t cfg, std::size_t ref);
+
+/** Harmonic mean across apps of an arbitrary per-result metric. */
+double hmeanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
+                   const std::function<double(const SimResult &)> &get);
+
+/** Arithmetic mean across apps of a per-result metric. */
+double meanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
+                  const std::function<double(const SimResult &)> &get);
+
+} // namespace espsim
+
+#endif // ESPSIM_SIM_STATS_REPORT_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The unit of work in the trace-driven timing model.
+ *
+ * A MicroOp carries everything the core, caches, branch predictor, and
+ * the ESP/runahead speculation engines need: program counter, memory
+ * address, control-flow outcome, and register operands (the latter let
+ * runahead track which instructions are invalid after a missing load).
+ */
+
+#ifndef ESPSIM_TRACE_MICRO_OP_HH
+#define ESPSIM_TRACE_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** Number of architectural registers modeled for dependence tracking. */
+constexpr unsigned numArchRegs = 32;
+
+/** Register id meaning "no operand". */
+constexpr std::uint8_t noReg = 0xff;
+
+/** One dynamic instruction of an event's execution trace. */
+struct MicroOp
+{
+    /** Instruction address. */
+    Addr pc = 0;
+
+    /** Effective address for loads/stores; 0 otherwise. */
+    Addr memAddr = 0;
+
+    /** Next PC actually followed by a taken branch; 0 otherwise. */
+    Addr branchTarget = 0;
+
+    /** Operation class. */
+    OpType type = OpType::IntAlu;
+
+    /** Actual direction of a conditional branch (true for all taken
+     *  control transfers). */
+    bool taken = false;
+
+    /** Source register operands (noReg if unused). */
+    std::uint8_t srcA = noReg;
+    std::uint8_t srcB = noReg;
+
+    /** Destination register (noReg if none). */
+    std::uint8_t dest = noReg;
+
+    bool isBranchOp() const { return isBranch(type); }
+    bool isMemoryOp() const { return isMemory(type); }
+    bool isLoad() const { return type == OpType::Load; }
+    bool isStore() const { return type == OpType::Store; }
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_TRACE_MICRO_OP_HH

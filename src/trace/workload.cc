@@ -1,0 +1,46 @@
+#include "trace/workload.hh"
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+InstCount
+Workload::totalInstructions() const
+{
+    InstCount total = 0;
+    for (std::size_t i = 0; i < numEvents(); ++i)
+        total += event(i).size();
+    return total;
+}
+
+double
+Workload::independentEventFraction() const
+{
+    if (numEvents() == 0)
+        return 1.0;
+    std::size_t independent = 0;
+    for (std::size_t i = 0; i < numEvents(); ++i) {
+        if (event(i).independent())
+            ++independent;
+    }
+    return static_cast<double>(independent) /
+        static_cast<double>(numEvents());
+}
+
+InMemoryWorkload::InMemoryWorkload(std::string name,
+                                   std::vector<EventTrace> events)
+    : name_(std::move(name)), events_(std::move(events))
+{
+}
+
+const EventTrace &
+InMemoryWorkload::event(std::size_t idx) const
+{
+    if (idx >= events_.size())
+        panic("workload '%s': event %zu out of range %zu", name_.c_str(),
+              idx, events_.size());
+    return events_[idx];
+}
+
+} // namespace espsim

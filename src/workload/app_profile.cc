@@ -1,0 +1,200 @@
+#include "workload/app_profile.hh"
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+namespace
+{
+
+/**
+ * Common starting point for every web app; the per-site functions
+ * below perturb it. Defaults follow the paper's characterisation of
+ * Web 2.0 JavaScript: large instruction footprints, short varied
+ * events, little cross-event locality.
+ */
+AppProfile
+webBase()
+{
+    AppProfile p;
+    p.dependencyRate = 0.02;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+AppProfile::webSuite()
+{
+    std::vector<AppProfile> suite;
+
+    {
+        // e-commerce: many short DOM-manipulation events, wide code.
+        AppProfile p = webBase();
+        p.name = "amazon";
+        p.windowsPerEvent = 14;
+        p.description = "Search for headphones, click a result, go to "
+                        "a related item";
+        p.seed = 0xa11ce;
+        p.numEvents = 40;
+        p.avgEventLen = 28000;
+        p.numHandlerTypes = 40;
+        p.hotRegionsPerHandler = 12;
+        p.codeRegionPool = 1100;
+        p.sharedCodeFraction = 0.28;
+        p.coldCodeFraction = 0.05;
+        p.paperEvents = 7787;
+        p.paperInstMillions = 434;
+        suite.push_back(p);
+    }
+    {
+        // search: lighter pages, fewer handlers.
+        AppProfile p = webBase();
+        p.name = "bing";
+        p.windowsPerEvent = 18;
+        p.description = "Search for 'Roger Federer', go to new results";
+        p.seed = 0xb196;
+        p.numEvents = 32;
+        p.avgEventLen = 26000;
+        p.numHandlerTypes = 28;
+        p.hotRegionsPerHandler = 12;
+        p.codeRegionPool = 900;
+        p.sharedCodeFraction = 0.26;
+        p.coldCodeFraction = 0.07;
+        p.paperEvents = 4858;
+        p.paperInstMillions = 259;
+        suite.push_back(p);
+    }
+    {
+        // news: the most events; ad/layout scripts spread code widely.
+        AppProfile p = webBase();
+        p.name = "cnn";
+        p.windowsPerEvent = 24;
+        p.description = "Click on the headline, go to world news";
+        p.seed = 0xc44;
+        p.numEvents = 45;
+        p.avgEventLen = 33000;
+        p.numHandlerTypes = 48;
+        p.hotRegionsPerHandler = 12;
+        p.codeRegionPool = 1300;
+        p.sharedCodeFraction = 0.26;
+        p.coldCodeFraction = 0.09;
+        p.paperEvents = 13409;
+        p.paperInstMillions = 1230;
+        suite.push_back(p);
+    }
+    {
+        // social networking: biggest footprint, long feed-render events.
+        AppProfile p = webBase();
+        p.name = "facebook";
+        p.windowsPerEvent = 20;
+        p.description = "Visit own homepage, go to communities, go to "
+                        "pictures";
+        p.seed = 0xface;
+        p.numEvents = 36;
+        p.avgEventLen = 48000;
+        p.numHandlerTypes = 56;
+        p.hotRegionsPerHandler = 12;
+        p.codeRegionPool = 1500;
+        p.sharedCodeFraction = 0.24;
+        p.coldCodeFraction = 0.09;
+        p.sharedHeapBlocks = 16384;
+        p.paperEvents = 9305;
+        p.paperInstMillions = 2165;
+        suite.push_back(p);
+    }
+    {
+        // interactive maps: long compute events (routing), more FP.
+        AppProfile p = webBase();
+        p.name = "gmaps";
+        p.windowsPerEvent = 20;
+        p.description = "Search two addresses; driving, transit and "
+                        "biking directions";
+        p.seed = 0x93a95;
+        p.numEvents = 36;
+        p.avgEventLen = 44000;
+        p.numHandlerTypes = 44;
+        p.hotRegionsPerHandler = 12;
+        p.codeRegionPool = 1400;
+        p.fpFrac = 0.08;
+        p.loopFrac = 0.14;
+        p.sharedCodeFraction = 0.22;
+        p.coldCodeFraction = 0.07;
+        p.paperEvents = 7298;
+        p.paperInstMillions = 2722;
+        suite.push_back(p);
+    }
+    {
+        // utilities / spreadsheet: few, long, loopy events.
+        AppProfile p = webBase();
+        p.name = "gdocs";
+        p.windowsPerEvent = 20;
+        p.description = "Open a spreadsheet, insert data, add 5 values";
+        p.seed = 0x9d0c5;
+        p.numEvents = 26;
+        p.avgEventLen = 46000;
+        p.numHandlerTypes = 36;
+        p.hotRegionsPerHandler = 12;
+        p.codeRegionPool = 1200;
+        p.loopFrac = 0.15;
+        p.sharedCodeFraction = 0.24;
+        p.coldCodeFraction = 0.06;
+        p.paperEvents = 1714;
+        p.paperInstMillions = 809;
+        suite.push_back(p);
+    }
+    {
+        // image editing: small hot kernels, data-intensive streaming.
+        AppProfile p = webBase();
+        p.name = "pixlr";
+        p.windowsPerEvent = 14;
+        p.description = "Add various filters to an uploaded image";
+        p.seed = 0x1f1b;
+        p.numEvents = 22;
+        p.avgEventLen = 28000;
+        p.numHandlerTypes = 16;
+        p.hotRegionsPerHandler = 12;
+        p.codeRegionPool = 350;
+        p.sharedCodeFraction = 0.30;
+        p.coldCodeFraction = 0.05;
+        p.loopFrac = 0.20;
+        p.fpFrac = 0.10;
+        p.allocFrac = 0.18;
+        p.coldDataFrac = 0.02;
+        p.allocBlocksPerEvent = 32;
+        p.paperEvents = 465;
+        p.paperInstMillions = 26;
+        suite.push_back(p);
+    }
+
+    return suite;
+}
+
+AppProfile
+AppProfile::byName(const std::string &name)
+{
+    for (const AppProfile &p : webSuite()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown application profile '%s'", name.c_str());
+}
+
+AppProfile
+AppProfile::testProfile()
+{
+    AppProfile p = webBase();
+    p.name = "test";
+    p.description = "tiny deterministic workload for unit tests";
+    p.seed = 42;
+    p.numEvents = 24;
+    p.avgEventLen = 600;
+    p.minEventLen = 100;
+    p.numHandlerTypes = 6;
+    p.codeRegionPool = 256;
+    p.sharedHeapBlocks = 2048;
+    return p;
+}
+
+} // namespace espsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-application workload profiles.
+ *
+ * The paper drives its evaluation with instruction traces of seven live
+ * Web 2.0 sites captured from an instrumented Chromium/V8 (Figure 6).
+ * Those traces are not reproducible offline, so each site is replaced
+ * by a calibrated profile for the synthetic generator. A profile fixes
+ * the structural properties ESP exploits (or suffers from): event count
+ * and length, static code footprint, shared-runtime locality, branch
+ * behaviour mix, data-access mix, and the inter-event dependence rate.
+ */
+
+#ifndef ESPSIM_WORKLOAD_APP_PROFILE_HH
+#define ESPSIM_WORKLOAD_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace espsim
+{
+
+/** Tunable description of one asynchronous application. */
+struct AppProfile
+{
+    std::string name;
+    /** "Actions performed" column of the paper's Figure 6. */
+    std::string description;
+
+    /** Master seed; everything about the workload derives from it. */
+    std::uint64_t seed = 1;
+
+    // --- Scale (the paper's counts, divided by ~an order of magnitude
+    // --- so every figure regenerates in seconds; ratios preserved).
+    std::size_t numEvents = 100;
+    double avgEventLen = 4000;   //!< mean instructions per event
+    std::size_t minEventLen = 300;
+
+    // --- Static code structure.
+    unsigned numHandlerTypes = 32;    //!< distinct callback functions
+    unsigned hotRegionsPerHandler = 12;//!< call-neighbourhood span, regions
+    unsigned blocksPerRegion = 16;    //!< region size in 64 B blocks
+    unsigned codeRegionPool = 1024;   //!< warm app code image, regions
+    /** Instructions between dispatch re-basings of the code walk. */
+    unsigned phasePeriod = 600;
+    /** Code windows an event cycles through (bounds its footprint). */
+    unsigned windowsPerEvent = 12;
+    double sharedCodeFraction = 0.30; //!< calls landing in the runtime
+    unsigned sharedCodeBlocks = 192;  //!< shared runtime size (blocks)
+    double coldCodeFraction = 0.11;   //!< calls landing in fresh code
+
+    // --- Instruction mix.
+    double loadFrac = 0.26;
+    double storeFrac = 0.11;
+    double avgBasicBlockLen = 6.0;    //!< non-branch ops per block
+    double callFrac = 0.22;           //!< blocks ending in a call
+    double returnFrac = 0.18;         //!< blocks ending in a return
+    double indirectFrac = 0.06;       //!< branches that are indirect
+    double loopFrac = 0.10;           //!< blocks that are loop bodies
+    double fpFrac = 0.02;             //!< ALU ops that are FP
+
+    // --- Branch behaviour (fractions of conditional-branch PCs).
+    double biasedBranchFrac = 0.74;
+    double correlatedBranchFrac = 0.10; //!< remainder is random
+    double branchBias = 0.94;           //!< bias of biased branches
+    unsigned maxCallDepth = 14;         //!< bounded by the 16-deep RAS
+
+    // --- Data-access mix (fractions of memory ops; must sum to <= 1,
+    // --- remainder treated as stack accesses).
+    double argFrac = 0.10;        //!< event argument object
+    double sharedHeapFrac = 0.24; //!< app-wide heap, skewed reuse
+    double allocFrac = 0.10;      //!< fresh per-event allocations
+    double coldDataFrac = 0.004;  //!< streaming, never-reused data
+    unsigned sharedHeapBlocks = 12288;   //!< shared heap size (blocks)
+    /** Fraction of shared-heap accesses landing in the hot window. */
+    double sharedHotFrac = 0.94;
+    unsigned sharedHotBlocks = 192;      //!< hot-window size (blocks)
+    /** Chance a memory op re-touches the previous data block. */
+    double dataRepeatFrac = 0.50;
+    unsigned allocBlocksPerEvent = 8;    //!< fresh blocks per event
+
+    // --- Inter-event dependence (drives speculation divergence).
+    double dependencyRate = 0.02;
+
+    // --- Paper's Figure 6 reference values, for the fig06 table.
+    double paperEvents = 0;
+    double paperInstMillions = 0;
+
+    /** The seven-site suite of the paper's Figure 6. */
+    static std::vector<AppProfile> webSuite();
+
+    /** Look up one suite profile by name (fatal if unknown). */
+    static AppProfile byName(const std::string &name);
+
+    /** Tiny profile for fast unit tests. */
+    static AppProfile testProfile();
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_WORKLOAD_APP_PROFILE_HH

@@ -1,0 +1,139 @@
+#include "workload/builder.hh"
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+EventTrace &
+WorkloadBuilder::current()
+{
+    if (!open_)
+        fatal("WorkloadBuilder: add ops after beginEvent()");
+    return events_.back();
+}
+
+WorkloadBuilder &
+WorkloadBuilder::beginEvent(Addr handler_pc, Addr arg_object)
+{
+    EventTrace trace;
+    trace.id = events_.size();
+    trace.handlerPc = handler_pc;
+    trace.argObjectAddr = arg_object;
+    events_.push_back(std::move(trace));
+    open_ = true;
+    return *this;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::op(const MicroOp &op)
+{
+    current().ops.push_back(op);
+    return *this;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::alu(Addr pc)
+{
+    MicroOp o;
+    o.pc = pc;
+    o.type = OpType::IntAlu;
+    o.dest = 1;
+    return op(o);
+}
+
+WorkloadBuilder &
+WorkloadBuilder::aluBlock(Addr pc, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        alu(pc + 4 * i);
+    return *this;
+}
+
+WorkloadBuilder &
+WorkloadBuilder::load(Addr pc, Addr addr, std::uint8_t dest)
+{
+    MicroOp o;
+    o.pc = pc;
+    o.type = OpType::Load;
+    o.memAddr = addr;
+    o.dest = dest;
+    return op(o);
+}
+
+WorkloadBuilder &
+WorkloadBuilder::store(Addr pc, Addr addr)
+{
+    MicroOp o;
+    o.pc = pc;
+    o.type = OpType::Store;
+    o.memAddr = addr;
+    o.srcA = 1;
+    return op(o);
+}
+
+WorkloadBuilder &
+WorkloadBuilder::branch(Addr pc, bool taken, Addr target)
+{
+    MicroOp o;
+    o.pc = pc;
+    o.type = OpType::BranchCond;
+    o.taken = taken;
+    o.branchTarget = taken ? target : 0;
+    return op(o);
+}
+
+WorkloadBuilder &
+WorkloadBuilder::call(Addr pc, Addr target)
+{
+    MicroOp o;
+    o.pc = pc;
+    o.type = OpType::Call;
+    o.taken = true;
+    o.branchTarget = target;
+    return op(o);
+}
+
+WorkloadBuilder &
+WorkloadBuilder::ret(Addr pc, Addr target)
+{
+    MicroOp o;
+    o.pc = pc;
+    o.type = OpType::Return;
+    o.taken = true;
+    o.branchTarget = target;
+    return op(o);
+}
+
+WorkloadBuilder &
+WorkloadBuilder::dependsOnPrevious(std::size_t divergence_point,
+                                   std::vector<MicroOp> diverged_tail)
+{
+    EventTrace &trace = current();
+    if (trace.id == 0)
+        fatal("WorkloadBuilder: the first event has no predecessor");
+    if (divergence_point >= trace.ops.size())
+        fatal("WorkloadBuilder: divergence point %zu past event end %zu",
+              divergence_point, trace.ops.size());
+    trace.divergencePoint = divergence_point;
+    trace.divergedTail = std::move(diverged_tail);
+    return *this;
+}
+
+std::size_t
+WorkloadBuilder::currentEventSize() const
+{
+    return open_ ? events_.back().ops.size() : 0;
+}
+
+std::unique_ptr<InMemoryWorkload>
+WorkloadBuilder::build(std::string name)
+{
+    if (events_.empty())
+        fatal("WorkloadBuilder: build() with no events");
+    open_ = false;
+    return std::make_unique<InMemoryWorkload>(std::move(name),
+                                              std::move(events_));
+}
+
+} // namespace espsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fluent public API for constructing event-trace workloads by hand.
+ *
+ * This is how a downstream user feeds their own asynchronous program's
+ * trace into the simulator (the synthetic generator is just one
+ * producer). Used by the custom_workload example and many tests.
+ */
+
+#ifndef ESPSIM_WORKLOAD_BUILDER_HH
+#define ESPSIM_WORKLOAD_BUILDER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace espsim
+{
+
+/** Incrementally builds an InMemoryWorkload, one event at a time. */
+class WorkloadBuilder
+{
+  public:
+    /**
+     * Start a new event. Ops added afterwards belong to it until the
+     * next beginEvent()/build().
+     */
+    WorkloadBuilder &beginEvent(Addr handler_pc, Addr arg_object = 0);
+
+    /** Append a fully-specified micro-op. */
+    WorkloadBuilder &op(const MicroOp &op);
+
+    /** Append an integer ALU op at @p pc. */
+    WorkloadBuilder &alu(Addr pc);
+
+    /** Append @p n sequential ALU ops starting at @p pc. */
+    WorkloadBuilder &aluBlock(Addr pc, std::size_t n);
+
+    /** Append a load of @p addr at @p pc writing register @p dest. */
+    WorkloadBuilder &load(Addr pc, Addr addr, std::uint8_t dest = 1);
+
+    /** Append a store to @p addr at @p pc. */
+    WorkloadBuilder &store(Addr pc, Addr addr);
+
+    /** Append a conditional branch. */
+    WorkloadBuilder &branch(Addr pc, bool taken, Addr target);
+
+    /** Append a call / return pair of control ops. */
+    WorkloadBuilder &call(Addr pc, Addr target);
+    WorkloadBuilder &ret(Addr pc, Addr target);
+
+    /**
+     * Mark the current event as dependent on its predecessor: its
+     * speculative pre-execution diverges at op index @p divergence_point
+     * and follows @p diverged_tail instead.
+     */
+    WorkloadBuilder &dependsOnPrevious(std::size_t divergence_point,
+                                       std::vector<MicroOp> diverged_tail);
+
+    /** Number of ops in the event currently being built. */
+    std::size_t currentEventSize() const;
+
+    /** Finish and return the workload (fatal if no events built). */
+    std::unique_ptr<InMemoryWorkload> build(std::string name);
+
+  private:
+    std::vector<EventTrace> events_;
+    bool open_ = false;
+
+    EventTrace &current();
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_WORKLOAD_BUILDER_HH

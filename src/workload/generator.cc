@@ -1,0 +1,638 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace espsim
+{
+
+namespace
+{
+
+/** splitmix64-style stateless mixer for deriving static properties. */
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+    std::uint64_t c = 0)
+{
+    std::uint64_t z =
+        a + 0x9e3779b97f4a7c15ULL * (b + 1) + c * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Behaviour classes of conditional-branch PCs. */
+enum class BranchClass
+{
+    Biased,     //!< almost always one direction
+    Correlated, //!< function of recent outcome history
+    Random,     //!< data dependent, unpredictable by tables
+};
+
+/** Static kinds of block-terminator instructions. */
+enum class TermKind
+{
+    Call,
+    Return,
+    Indirect,
+    CondForward,
+    CondBackward, //!< loop branch
+};
+
+/** In-progress state of one event-trace random walk. */
+struct Walk
+{
+    Rng rng;
+    std::vector<MicroOp> out;
+    std::size_t targetLen = 0;
+    Addr pc = 0;
+    std::vector<Addr> callStack;
+    std::uint64_t histReg = 0; //!< recent conditional outcomes
+    Addr argObject = 0;
+    std::uint64_t eventId = 0;
+    std::uint32_t handler = 0;
+    unsigned eventPhase = 0; //!< steadies indirect targets per event
+    Addr allocRegion = 0;
+    Addr allocOff = 0;
+    Addr lastDataBlock = 0; //!< previous memory-op block (reuse model)
+    std::uint8_t lastDest = noReg;
+    unsigned opsSinceTerm = 0;
+    std::unordered_map<Addr, unsigned> loopCounts;
+
+    explicit Walk(std::uint64_t seed) : rng(seed) {}
+
+    unsigned depth() const
+    {
+        return static_cast<unsigned>(callStack.size());
+    }
+};
+
+} // namespace
+
+SyntheticGenerator::SyntheticGenerator(AppProfile profile)
+    : profile_(std::move(profile))
+{
+    if (profile_.numEvents == 0)
+        fatal("profile '%s' has zero events", profile_.name.c_str());
+    if (profile_.blocksPerRegion == 0 || profile_.codeRegionPool == 0)
+        fatal("profile '%s' has an empty code image",
+              profile_.name.c_str());
+}
+
+namespace
+{
+
+/**
+ * Generator internals bound to one profile.
+ *
+ * The *static program* is a pure function of (PC, seed): whether a PC
+ * is a block terminator, its instruction type, a branch's kind/class/
+ * target, a call's destination — all derived by hashing the PC. Only
+ * the *dynamics* vary per visit: conditional outcomes, indirect-target
+ * selection (per-event phase), memory addresses, loop exits. Branch
+ * predictors therefore see stable, learnable static branches exactly
+ * as they would in real code, while the footprint and path coverage
+ * vary event to event.
+ */
+class WalkEngine
+{
+  public:
+    explicit WalkEngine(const AppProfile &p) : p_(p) {}
+
+    /** Run a walk until it reaches its target length. */
+    void
+    run(Walk &st) const
+    {
+        while (st.out.size() < st.targetLen)
+            step(st);
+    }
+
+    /** Draw this event's target length (exponential-ish, floored). */
+    std::size_t
+    drawLength(Rng &rng) const
+    {
+        const double u = std::max(rng.real(), 1e-12);
+        double len = p_.avgEventLen * -std::log(1.0 - u);
+        len = std::min(len, 12.0 * p_.avgEventLen);
+        return std::max<std::size_t>(static_cast<std::size_t>(len),
+                                     p_.minEventLen);
+    }
+
+    /** Entry PC of handler @p h (its base region). */
+    Addr
+    handlerEntry(std::uint32_t h) const
+    {
+        return entryAt(handlerBaseSlot(h), 0);
+    }
+
+  private:
+    const AppProfile &p_;
+
+    /** Function entries are quantised to 128 B boundaries. */
+    static constexpr Addr entryStride = 64;
+
+    Addr
+    regionBase(std::uint64_t slot) const
+    {
+        return layout::appCodeBase +
+            slot * p_.blocksPerRegion * blockBytes;
+    }
+
+    Addr
+    regionBytes() const
+    {
+        return p_.blocksPerRegion * blockBytes;
+    }
+
+    /** Region-slot index containing @p pc (app code space only). */
+    std::uint64_t
+    slotOf(Addr pc) const
+    {
+        return (pc - layout::appCodeBase) / regionBytes();
+    }
+
+    /** First slot index of the cold (never-warm) code space. */
+    std::uint64_t
+    coldSlotBase() const
+    {
+        return p_.codeRegionPool;
+    }
+
+    /** Quantised entry inside region @p slot selected by hash @p h. */
+    Addr
+    entryAt(std::uint64_t slot, std::uint64_t h) const
+    {
+        const Addr entries = std::max<Addr>(regionBytes() / entryStride, 1);
+        return regionBase(slot) + (h % entries) * entryStride;
+    }
+
+    std::uint64_t
+    handlerBaseSlot(std::uint32_t handler) const
+    {
+        return mix(p_.seed, handler, 0x1000) % p_.codeRegionPool;
+    }
+
+    /** Quantised entry in the shared runtime, skew-selected. */
+    Addr
+    sharedEntry(std::uint64_t h) const
+    {
+        // Square the hash fraction for skew: a few runtime entry
+        // points (dispatch, GC barriers, DOM glue) dominate.
+        const double u = static_cast<double>(h % 65536) / 65536.0;
+        const auto span =
+            static_cast<std::uint64_t>(p_.sharedCodeBlocks) * blockBytes /
+            entryStride;
+        const auto idx = static_cast<std::uint64_t>(
+            u * u * static_cast<double>(span));
+        return layout::sharedCodeBase + idx * entryStride;
+    }
+
+    // --- static decode ----------------------------------------------
+
+    bool
+    isTerminator(const Walk &st, Addr pc) const
+    {
+        (void)st;
+        // Every 24th instruction slot terminates unconditionally so
+        // straight-line runs are bounded; this is a *static* property
+        // (the decode at a PC never depends on how it was reached).
+        if ((pc >> 2) % 24 == 23)
+            return true;
+        const double p_term = 1.0 / (p_.avgBasicBlockLen + 1.0);
+        return static_cast<double>(mix(pc, p_.seed, 0x7e12) % 16384) <
+            16384.0 * p_term;
+    }
+
+    TermKind
+    termKind(Addr pc) const
+    {
+        const double u = static_cast<double>(
+                             mix(pc, p_.seed, 0x7e57) % 16384) /
+            16384.0;
+        double acc = p_.callFrac;
+        if (u < acc)
+            return TermKind::Call;
+        acc += p_.returnFrac;
+        if (u < acc)
+            return TermKind::Return;
+        acc += p_.indirectFrac;
+        if (u < acc)
+            return TermKind::Indirect;
+        acc += p_.loopFrac;
+        if (u < acc)
+            return TermKind::CondBackward;
+        return TermKind::CondForward;
+    }
+
+    BranchClass
+    branchClass(Addr pc) const
+    {
+        const std::uint64_t h = mix(pc, p_.seed, 0xbc);
+        const double u = static_cast<double>(h % 10000) / 10000.0;
+        if (u < p_.biasedBranchFrac)
+            return BranchClass::Biased;
+        if (u < p_.biasedBranchFrac + p_.correlatedBranchFrac)
+            return BranchClass::Correlated;
+        return BranchClass::Random;
+    }
+
+    /**
+     * Fixed direct-call destination of the call at @p pc. Code is laid
+     * out with call locality: a call site targets a function within a
+     * small slot neighbourhood ahead of its own region (or the shared
+     * runtime), so the walk drifts through the code image and the
+     * touched footprint grows with event length.
+     */
+    Addr
+    callTarget(const Walk &st, Addr pc) const
+    {
+        (void)st;
+        const std::uint64_t h = mix(pc, p_.seed, 0xca11);
+        const double u = static_cast<double>(h % 10000) / 10000.0;
+        if (u < p_.sharedCodeFraction)
+            return sharedEntry(h >> 16);
+        const std::uint64_t span = p_.hotRegionsPerHandler;
+        std::uint64_t slot;
+        if (pc >= layout::appCodeBase) {
+            const std::uint64_t here = slotOf(pc);
+            if (here >= coldSlotBase()) {
+                // Calls within fresh code stay in its neighbourhood.
+                slot = here + 1 + (h >> 8) % 3;
+            } else {
+                // Calls stay inside the aligned `span`-region window
+                // containing the call site: one module of the code
+                // image. Event footprints are therefore bounded by the
+                // window set the event visits, not by event length.
+                const std::uint64_t window = here / span;
+                slot = window * span + (here + 1 + (h >> 8) % span) % span;
+            }
+        } else {
+            // Runtime code calling back into the application.
+            slot = (h >> 8) % p_.codeRegionPool;
+        }
+        return entryAt(slot, h >> 24);
+    }
+
+    /**
+     * Destination of the indirect branch at @p pc for this visit:
+     * stable within an event (the same receiver object), varies across
+     * events, and reaches event-specific fresh code with probability
+     * coldCodeFraction — this is how compulsory-miss code keeps
+     * arriving, like newly JITted or first-touched functions.
+     */
+    Addr
+    indirectTarget(const Walk &st, Addr pc) const
+    {
+        const std::uint64_t h = mix(pc, p_.seed, 0x19d);
+        const unsigned fanout = 1 + static_cast<unsigned>((h >> 3) % 6);
+        const unsigned which =
+            (st.eventPhase + static_cast<unsigned>(h >> 16)) % fanout;
+        const std::uint64_t hw = mix(h, which, 0x3b);
+        const double u = static_cast<double>(hw % 10000) / 10000.0;
+        if (u < p_.coldCodeFraction) {
+            // Event-specific fresh code (JIT output, first-touched
+            // functions): slots beyond the warm pool, so they are
+            // compulsory-miss territory.
+            const std::uint64_t slot = coldSlotBase() +
+                mix(p_.seed, st.handler * 131 + st.eventId, hw >> 8) %
+                    (1u << 20);
+            return entryAt(slot, hw >> 20);
+        }
+        // Dispatch re-bases the walk onto one of this event's code
+        // windows, cycling every phasePeriod instructions. An event's
+        // instruction footprint is the union of a few windows however
+        // long it runs — matching the bounded per-event working sets
+        // of the paper's Figure 13.
+        const std::uint64_t span = p_.hotRegionsPerHandler;
+        const std::uint64_t num_windows =
+            std::max<std::uint64_t>(p_.codeRegionPool / span, 1);
+        const std::uint64_t phase = st.out.size() / p_.phasePeriod;
+        const std::uint64_t wslot =
+            (phase + (hw >> 7)) % p_.windowsPerEvent;
+        const std::uint64_t window =
+            mix(p_.seed, st.handler * 64 + st.eventPhase, wslot) %
+            num_windows;
+        // Early passes over the window set explore new dispatch
+        // subgraphs (pass salt); later passes revisit them. Long
+        // events therefore build their footprint over the first few
+        // passes, then reuse it — misses stay front-loaded.
+        const std::uint64_t pass =
+            std::min<std::uint64_t>(phase / p_.windowsPerEvent, 3);
+        const std::uint64_t slot =
+            window * span + (mix(hw >> 4, pass, 0x9a) % span);
+        return entryAt(slot, mix(hw >> 24, pass, 0x9b));
+    }
+
+    // --- dynamics ----------------------------------------------------
+
+    /** Effective address for the next load or store. */
+    Addr
+    dataAddress(Walk &st) const
+    {
+        // Temporal/spatial locality: programs frequently re-touch the
+        // line they just used (field accesses on the same object).
+        if (st.lastDataBlock != 0 && st.rng.chance(p_.dataRepeatFrac))
+            return st.lastDataBlock + 8 * st.rng.below(8);
+
+        const double r = st.rng.real();
+        double acc = p_.argFrac;
+        if (r < acc)
+            return st.argObject + 8 * st.rng.below(24);
+        acc += p_.sharedHeapFrac;
+        if (r < acc) {
+            // Two-tier heap: a hot window of frequently-reused objects
+            // plus a long cold tail over the whole heap.
+            std::uint64_t block;
+            if (st.rng.chance(p_.sharedHotFrac)) {
+                block = st.rng.skewed(std::min<std::uint64_t>(
+                    p_.sharedHotBlocks, p_.sharedHeapBlocks));
+            } else {
+                block = st.rng.below(p_.sharedHeapBlocks);
+            }
+            return layout::sharedHeapBase + block * blockBytes +
+                8 * st.rng.below(8);
+        }
+        acc += p_.allocFrac;
+        if (r < acc) {
+            // Bump allocation with short-range reuse.
+            const Addr span = p_.allocBlocksPerEvent * blockBytes;
+            if (st.rng.chance(0.55) && st.allocOff > 0) {
+                const Addr back =
+                    std::min<Addr>(st.allocOff, 2 * blockBytes);
+                return st.allocRegion + st.allocOff -
+                    st.rng.below(back + 1);
+            }
+            st.allocOff = (st.allocOff + st.rng.range(16, 96)) % span;
+            return st.allocRegion + st.allocOff;
+        }
+        acc += p_.coldDataFrac;
+        if (r < acc) {
+            // Streaming data, never reused.
+            return layout::coldDataBase +
+                (st.rng.next() % (Addr{1} << 30));
+        }
+        // Stack frame of the current call depth.
+        return layout::stackBase - st.depth() * 192 -
+            8 * st.rng.below(24);
+    }
+
+    /** Outcome of the forward conditional branch at @p pc. */
+    bool
+    conditionalOutcome(Walk &st, Addr pc) const
+    {
+        bool outcome;
+        switch (branchClass(pc)) {
+          case BranchClass::Biased: {
+            const bool dir = (mix(pc, p_.seed, 0xd1) >> 8) & 1;
+            outcome = st.rng.chance(p_.branchBias) ? dir : !dir;
+            break;
+          }
+          case BranchClass::Correlated: {
+            const auto h = mix(pc, p_.seed, 0xc0);
+            outcome = (std::popcount(st.histReg & 0x1b) +
+                       static_cast<int>((h >> 9) & 1)) &
+                1;
+            break;
+          }
+          case BranchClass::Random:
+          default:
+            outcome = st.rng.chance(0.5);
+            break;
+        }
+        st.histReg = (st.histReg << 1) | (outcome ? 1 : 0);
+        return outcome;
+    }
+
+    // --- emission ----------------------------------------------------
+
+    void
+    emitPlainOp(Walk &st) const
+    {
+        MicroOp op;
+        op.pc = st.pc;
+        const std::uint64_t h = mix(st.pc, p_.seed, 0x0b);
+        const double u = static_cast<double>(h % 10000) / 10000.0;
+        if (u < p_.loadFrac) {
+            op.type = OpType::Load;
+            op.memAddr = dataAddress(st);
+            st.lastDataBlock = blockAlign(op.memAddr);
+            op.dest = static_cast<std::uint8_t>((h >> 16) % 24);
+            op.srcA = st.rng.chance(0.30) && st.lastDest != noReg
+                ? st.lastDest
+                : static_cast<std::uint8_t>(st.rng.below(numArchRegs));
+            st.lastDest = op.dest;
+        } else if (u < p_.loadFrac + p_.storeFrac) {
+            op.type = OpType::Store;
+            op.memAddr = dataAddress(st);
+            st.lastDataBlock = blockAlign(op.memAddr);
+            op.srcA = st.rng.chance(0.40) && st.lastDest != noReg
+                ? st.lastDest
+                : static_cast<std::uint8_t>(st.rng.below(numArchRegs));
+            op.srcB = static_cast<std::uint8_t>((h >> 20) % numArchRegs);
+        } else {
+            const double fp_cut =
+                p_.loadFrac + p_.storeFrac +
+                p_.fpFrac * (1.0 - p_.loadFrac - p_.storeFrac);
+            op.type = u < fp_cut ? OpType::FpAlu : OpType::IntAlu;
+            op.dest = static_cast<std::uint8_t>((h >> 16) % numArchRegs);
+            op.srcA = st.rng.chance(0.45) && st.lastDest != noReg
+                ? st.lastDest
+                : static_cast<std::uint8_t>(st.rng.below(numArchRegs));
+            op.srcB = static_cast<std::uint8_t>((h >> 24) % numArchRegs);
+            st.lastDest = op.dest;
+        }
+        st.out.push_back(op);
+        st.pc += 4;
+        ++st.opsSinceTerm;
+    }
+
+    void
+    emitControl(Walk &st, OpType type, bool taken, Addr target) const
+    {
+        MicroOp op;
+        op.pc = st.pc;
+        op.type = type;
+        op.taken = taken;
+        op.branchTarget = taken ? target : 0;
+        op.srcA = st.lastDest != noReg && st.rng.chance(0.2)
+            ? st.lastDest
+            : static_cast<std::uint8_t>(st.rng.below(numArchRegs));
+        st.out.push_back(op);
+        st.pc = taken ? target : st.pc + 4;
+        st.opsSinceTerm = 0;
+    }
+
+    /** Emit one instruction (static decode at the walk's PC). */
+    void
+    step(Walk &st) const
+    {
+        const Addr pc = st.pc;
+        if (!isTerminator(st, pc)) {
+            emitPlainOp(st);
+            return;
+        }
+
+        const TermKind kind = termKind(pc);
+        switch (kind) {
+          case TermKind::Call: {
+            // Bounded stack: beyond the modeled depth the oldest frame
+            // is dropped (matching RAS overflow) so the decode at this
+            // PC is always a call.
+            const Addr callee = callTarget(st, pc);
+            if (st.depth() >= p_.maxCallDepth)
+                st.callStack.erase(st.callStack.begin());
+            st.callStack.push_back(pc + 4);
+            emitControl(st, OpType::Call, true, callee);
+            break;
+          }
+          case TermKind::Return: {
+            // A return with an empty stack is the handler's final
+            // return into the dispatcher: still a return instruction,
+            // its target just isn't a recorded frame.
+            Addr ret;
+            if (st.callStack.empty()) {
+                ret = indirectTarget(st, pc);
+            } else {
+                ret = st.callStack.back();
+                st.callStack.pop_back();
+            }
+            emitControl(st, OpType::Return, true, ret);
+            break;
+          }
+          case TermKind::Indirect:
+            emitControl(st, OpType::BranchIndirect, true,
+                        indirectTarget(st, pc));
+            break;
+          case TermKind::CondBackward: {
+            // Loop branch: per-PC-constant trip count.
+            const std::uint64_t h = mix(pc, p_.seed, 0x100b);
+            const unsigned trips = 2 + static_cast<unsigned>(h % 13);
+            const unsigned count = ++st.loopCounts[pc];
+            const bool taken = count % trips != 0;
+            const Addr target = pc - 4 * (4 + (h >> 8) % 28);
+            emitControl(st, OpType::BranchCond, taken, target);
+            st.histReg = (st.histReg << 1) | (taken ? 1 : 0);
+            break;
+          }
+          case TermKind::CondForward: {
+            const bool taken = conditionalOutcome(st, pc);
+            const std::uint64_t h = mix(pc, p_.seed, 0x5c1);
+            const Addr target = pc + 4 + 4 * (5 + h % 26);
+            emitControl(st, OpType::BranchCond, taken, target);
+            break;
+          }
+        }
+    }
+};
+
+} // namespace
+
+EventTrace
+SyntheticGenerator::generateEvent(std::uint64_t id) const
+{
+    const AppProfile &p = profile_;
+    EventTrace trace;
+    trace.id = id;
+
+    WalkEngine engine(p);
+    Walk st(mix(p.seed, id, 0xe7e47));
+
+    st.eventId = id;
+    // Handler popularity: half the events come from a skewed head of
+    // popular handlers (timers, scroll), half are spread uniformly —
+    // consecutive events usually run *different* code, which is what
+    // destroys instruction locality in asynchronous programs (§2.1).
+    st.handler = static_cast<std::uint32_t>(
+        st.rng.chance(0.5) ? st.rng.skewed(p.numHandlerTypes)
+                           : st.rng.below(p.numHandlerTypes));
+    st.eventPhase =
+        static_cast<unsigned>(mix(id, st.handler, 0x9a5e) % 64);
+    st.targetLen = engine.drawLength(st.rng);
+    st.argObject = layout::argObjectBase + id * 4096;
+    st.allocRegion = layout::allocBase +
+        id * (2ULL * p.allocBlocksPerEvent * blockBytes);
+    st.pc = engine.handlerEntry(st.handler);
+
+    trace.handlerType = st.handler;
+    trace.handlerPc = st.pc;
+    trace.argObjectAddr = st.argObject;
+
+    // Inter-event dependence: decided before the walk so the divergence
+    // point is a property of the event, not of its length realisation.
+    const bool dependent = id > 0 && st.rng.chance(p.dependencyRate);
+    const double div_frac = 0.15 + 0.70 * st.rng.real();
+
+    engine.run(st);
+    trace.ops = std::move(st.out);
+
+    if (dependent) {
+        trace.divergencePoint = std::min(
+            trace.ops.size() - 1,
+            static_cast<std::size_t>(
+                div_frac * static_cast<double>(trace.ops.size())));
+
+        // The wrong path a pre-execution follows after reading a stale
+        // value: a fresh walk from the divergence PC with its own
+        // random stream. Often shorter than the real remainder (the
+        // paper's ~2% of forked pre-executions that fail early).
+        Walk bad(mix(p.seed, id, 0xbad));
+        bad.eventId = id;
+        bad.handler = st.handler;
+        bad.eventPhase = (st.eventPhase + 17) % 64;
+        bad.argObject = st.argObject;
+        bad.allocRegion = st.allocRegion;
+        bad.pc = trace.ops[trace.divergencePoint].pc;
+        const std::size_t remainder =
+            trace.ops.size() - trace.divergencePoint;
+        bad.targetLen = std::max<std::size_t>(
+            1,
+            static_cast<std::size_t>(static_cast<double>(remainder) *
+                                     (0.30 + 0.70 * bad.rng.real())));
+        engine.run(bad);
+        trace.divergedTail = std::move(bad.out);
+    }
+
+    return trace;
+}
+
+std::vector<AddrRange>
+SyntheticGenerator::warmSet() const
+{
+    const AppProfile &p = profile_;
+    std::vector<AddrRange> ranges;
+    // Shared runtime code.
+    ranges.emplace_back(layout::sharedCodeBase,
+                        layout::sharedCodeBase +
+                            Addr{p.sharedCodeBlocks} * blockBytes);
+    // The application's entire warm code pool (handlers + callees).
+    const Addr region_bytes = Addr{p.blocksPerRegion} * blockBytes;
+    ranges.emplace_back(layout::appCodeBase,
+                        layout::appCodeBase +
+                            p.codeRegionPool * region_bytes);
+    // The whole shared heap (hot window and tail).
+    ranges.emplace_back(layout::sharedHeapBase,
+                        layout::sharedHeapBase +
+                            Addr{p.sharedHeapBlocks} * blockBytes);
+    return ranges;
+}
+
+std::unique_ptr<InMemoryWorkload>
+SyntheticGenerator::generate() const
+{
+    std::vector<EventTrace> events;
+    events.reserve(profile_.numEvents);
+    for (std::uint64_t id = 0; id < profile_.numEvents; ++id)
+        events.push_back(generateEvent(id));
+    auto workload = std::make_unique<InMemoryWorkload>(
+        profile_.name, std::move(events));
+    workload->setWarmSet(warmSet());
+    return workload;
+}
+
+} // namespace espsim

@@ -1,0 +1,53 @@
+#include "workload/lazy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+LazyWorkload::LazyWorkload(AppProfile profile, std::size_t window)
+    : generator_(std::move(profile)),
+      name_(generator_.profile().name),
+      numEvents_(generator_.profile().numEvents),
+      window_(std::max<std::size_t>(window, 4))
+{
+}
+
+const EventTrace &
+LazyWorkload::event(std::size_t idx) const
+{
+    if (idx >= numEvents_)
+        panic("lazy workload '%s': event %zu out of range %zu",
+              name_.c_str(), idx, numEvents_);
+
+    auto it = cache_.find(idx);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(idx, std::make_unique<EventTrace>(
+                                   generator_.generateEvent(idx)))
+                 .first;
+        ++generations_;
+    }
+
+    // Evict traces far behind the requested index; references to
+    // events in [idx - 1, idx + window) stay valid, which covers the
+    // simulator's lookahead contract (idx + 3).
+    while (cache_.size() > window_) {
+        auto oldest = cache_.begin();
+        if (oldest->first + window_ > idx + 1)
+            break; // everything resident is still in the live window
+        cache_.erase(oldest);
+    }
+
+    return *it->second;
+}
+
+std::vector<AddrRange>
+LazyWorkload::warmSet() const
+{
+    return generator_.warmSet();
+}
+
+} // namespace espsim

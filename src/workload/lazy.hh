@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory-bounded lazy workload: events are generated on demand and a
+ * small window is cached, instead of materialising the whole stream.
+ *
+ * The simulator only ever holds references to the current event and
+ * the ESP queue's two lookahead events, so a window of a few traces
+ * suffices — this is how multi-hundred-million-instruction runs stay
+ * within memory. Honors the Workload contract that a reference stays
+ * valid until event idx+3 is requested.
+ */
+
+#ifndef ESPSIM_WORKLOAD_LAZY_HH
+#define ESPSIM_WORKLOAD_LAZY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "trace/workload.hh"
+#include "workload/generator.hh"
+
+namespace espsim
+{
+
+/** Workload backed by on-demand generation with a bounded cache. */
+class LazyWorkload : public Workload
+{
+  public:
+    /** @p window traces are kept resident (>= 4 per the contract). */
+    explicit LazyWorkload(AppProfile profile, std::size_t window = 8);
+
+    const std::string &name() const override { return name_; }
+    std::size_t numEvents() const override { return numEvents_; }
+    const EventTrace &event(std::size_t idx) const override;
+    std::vector<AddrRange> warmSet() const override;
+
+    /** Traces currently materialised (tests / memory accounting). */
+    std::size_t residentTraces() const { return cache_.size(); }
+    /** Total events generated over the lifetime (cache misses). */
+    std::uint64_t generations() const { return generations_; }
+
+  private:
+    SyntheticGenerator generator_;
+    std::string name_;
+    std::size_t numEvents_;
+    std::size_t window_;
+
+    mutable std::map<std::size_t, std::unique_ptr<EventTrace>> cache_;
+    mutable std::uint64_t generations_ = 0;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_WORKLOAD_LAZY_HH

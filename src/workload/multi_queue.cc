@@ -1,0 +1,125 @@
+#include "workload/multi_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace espsim
+{
+
+InterleavedWorkload::InterleavedWorkload(
+    std::string name, std::vector<std::unique_ptr<Workload>> queues,
+    const MultiQueueConfig &config)
+    : name_(std::move(name)), queues_(std::move(queues))
+{
+    if (queues_.empty())
+        fatal("InterleavedWorkload needs at least one queue");
+
+    Rng rng(config.seed);
+
+    // Weighted round-robin merge: queues with more remaining events
+    // are proportionally more likely to be picked, which keeps the
+    // interleave fine grained without starving short queues.
+    std::vector<std::size_t> next(queues_.size(), 0);
+    std::size_t remaining = 0;
+    for (const auto &q : queues_)
+        remaining += q->numEvents();
+    order_.reserve(remaining);
+    while (remaining > 0) {
+        std::size_t pick = rng.below(remaining);
+        for (unsigned q = 0; q < queues_.size(); ++q) {
+            const std::size_t left = queues_[q]->numEvents() - next[q];
+            if (pick < left) {
+                Slot slot;
+                slot.queue = q;
+                slot.queueIdx = next[q]++;
+                order_.push_back(slot);
+                break;
+            }
+            pick -= left;
+        }
+        --remaining;
+    }
+
+    // The runtime's dispatch predictions follow this intended order;
+    // barrier reorderings then swap adjacent dispatches *after* the
+    // prediction was made, so the affected slot's prediction is wrong
+    // (§4.5's synchronous-barrier example).
+    const std::size_t n = order_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        order_[i].predicted1 = i + 1;
+        order_[i].predicted2 = i + 2;
+    }
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+        if (rng.chance(config.barrierRate)) {
+            std::swap(order_[i + 1], order_[i + 2]);
+            // The runtime believed the event now sitting at i+2 would
+            // run first.
+            order_[i].predicted1 = i + 2;
+            order_[i].predicted2 = i + 1;
+            // Restore the swapped slots' own forward predictions.
+            order_[i + 1].predicted1 = i + 2;
+            order_[i + 1].predicted2 = i + 3;
+            order_[i + 2].predicted1 = i + 3;
+            order_[i + 2].predicted2 = i + 4;
+        }
+    }
+
+    // Union of the queues' warm sets.
+    for (const auto &q : queues_) {
+        const auto ranges = q->warmSet();
+        warmSet_.insert(warmSet_.end(), ranges.begin(), ranges.end());
+    }
+}
+
+const EventTrace &
+InterleavedWorkload::event(std::size_t idx) const
+{
+    if (idx >= order_.size())
+        panic("interleaved workload: event %zu out of range %zu", idx,
+              order_.size());
+    const Slot &slot = order_[idx];
+    return queues_[slot.queue]->event(slot.queueIdx);
+}
+
+std::size_t
+InterleavedWorkload::predictedNext(std::size_t current,
+                                   unsigned ahead) const
+{
+    if (current >= order_.size())
+        return current + ahead;
+    const Slot &slot = order_[current];
+    switch (ahead) {
+      case 1:
+        return slot.predicted1;
+      case 2:
+        return slot.predicted2;
+      default:
+        return current + ahead;
+    }
+}
+
+unsigned
+InterleavedWorkload::queueOf(std::size_t idx) const
+{
+    if (idx >= order_.size())
+        panic("queueOf: event %zu out of range", idx);
+    return order_[idx].queue;
+}
+
+double
+InterleavedWorkload::dispatchPredictionAccuracy() const
+{
+    if (order_.size() < 3)
+        return 1.0;
+    std::size_t correct = 0, total = 0;
+    for (std::size_t i = 0; i + 2 < order_.size(); ++i) {
+        total += 2;
+        correct += order_[i].predicted1 == i + 1;
+        correct += order_[i].predicted2 == i + 2;
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+} // namespace espsim

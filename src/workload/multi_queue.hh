@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-queue asynchronous systems (paper §4.5, "ESP for any
+ * Asynchronous Program").
+ *
+ * In the general case an application has several software event queues
+ * whose events a runtime multiplexes onto looper threads. The runtime
+ * then *predicts* the next two events that will run on each looper and
+ * exposes those to the ESP hardware queue. The prediction is usually
+ * right, but e.g. a synchronous barrier posted to one queue can hold
+ * its events back and let later events from other queues run first —
+ * in which case the hardware's incorrect-prediction bit must veto the
+ * stale list state.
+ *
+ * InterleavedWorkload models this: it merges the event streams of
+ * several logical queues into one looper-order stream, and publishes
+ * the runtime's (imperfect) dispatch predictions through
+ * Workload::predictedNext(). A configurable rate of "barrier"
+ * reorderings makes predictions wrong exactly the way §4.5 describes.
+ */
+
+#ifndef ESPSIM_WORKLOAD_MULTI_QUEUE_HH
+#define ESPSIM_WORKLOAD_MULTI_QUEUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace espsim
+{
+
+/** Configuration of the runtime's queue multiplexing. */
+struct MultiQueueConfig
+{
+    /** Seed for the interleaving and barrier injection. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Probability that a dispatch decision is a "barrier" reordering
+     * the runtime failed to predict: the next two predicted events
+     * swap / defer, so the prediction for that slot is wrong.
+     */
+    double barrierRate = 0.02;
+};
+
+/**
+ * A looper-order merge of several queues with dispatch predictions.
+ */
+class InterleavedWorkload : public Workload
+{
+  public:
+    /**
+     * Merge @p queues (consumed) into one looper stream. Events are
+     * drawn from the queues in a seeded weighted round-robin; the
+     * runtime's predictions follow the *intended* schedule, which the
+     * barrier injections then perturb.
+     */
+    InterleavedWorkload(std::string name,
+                        std::vector<std::unique_ptr<Workload>> queues,
+                        const MultiQueueConfig &config);
+
+    const std::string &name() const override { return name_; }
+    std::size_t numEvents() const override { return order_.size(); }
+    const EventTrace &event(std::size_t idx) const override;
+    std::vector<AddrRange> warmSet() const override { return warmSet_; }
+
+    std::size_t predictedNext(std::size_t current,
+                              unsigned ahead) const override;
+
+    /** Which logical queue event @p idx came from (for reports). */
+    unsigned queueOf(std::size_t idx) const;
+
+    /** Fraction of (current, ahead<=2) predictions that are correct. */
+    double dispatchPredictionAccuracy() const;
+
+  private:
+    struct Slot
+    {
+        unsigned queue = 0;
+        std::size_t queueIdx = 0; //!< index within that queue
+        /** Runtime-predicted stream indices for ahead = 1, 2. */
+        std::size_t predicted1 = 0;
+        std::size_t predicted2 = 0;
+    };
+
+    std::string name_;
+    std::vector<std::unique_ptr<Workload>> queues_;
+    std::vector<Slot> order_;
+    std::vector<AddrRange> warmSet_;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_WORKLOAD_MULTI_QUEUE_HH

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the OoO core timing model, driven by hand-built traces:
+ * width-limited throughput, dependency/load-use issue costs, I-cache
+ * miss bubbles, mispredict redirects, MLP overlap through the ROB,
+ * looper overhead, and stall-window delivery to the hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "workload/builder.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+struct Fixture
+{
+    HierarchyConfig memCfg;
+    CoreConfig coreCfg;
+    PrefetcherConfig noPf;
+
+    Fixture()
+    {
+        coreCfg.looperOverheadInstr = 0; // keep arithmetic exact
+    }
+};
+
+/** Hook that records every stall window. */
+class RecordingHooks : public CoreHooks
+{
+  public:
+    std::vector<StallContext> stalls;
+    std::vector<std::size_t> eventStarts;
+
+    void
+    onStall(const StallContext &ctx) override
+    {
+        stalls.push_back(ctx);
+    }
+
+    void
+    onEventStart(std::size_t idx, Cycle) override
+    {
+        eventStarts.push_back(idx);
+    }
+};
+
+/** Independent ALU ops (distinct registers, no chains), looping
+ *  within a single I-cache block so fetch never misses after the
+ *  first access. */
+std::unique_ptr<InMemoryWorkload>
+independentAlus(std::size_t n)
+{
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op;
+        op.pc = 0x1000 + 4 * (i % 16);
+        op.type = OpType::IntAlu;
+        op.dest = static_cast<std::uint8_t>(i % 8);
+        op.srcA = static_cast<std::uint8_t>(8 + (i % 8));
+        op.srcB = static_cast<std::uint8_t>(16 + (i % 8));
+        b.op(op);
+    }
+    return b.build("alus");
+}
+
+} // namespace
+
+TEST(Core, WidthBoundOnIndependentCode)
+{
+    Fixture f;
+    auto w = independentAlus(4000);
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    CoreHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    // Warm single-block code, no dependences: IPC approaches width.
+    EXPECT_GT(core.stats().ipc(), 2.5);
+    EXPECT_EQ(core.stats().instructions, 4000u);
+    EXPECT_EQ(core.stats().events, 1u);
+}
+
+TEST(Core, DependencyChainsReduceIpc)
+{
+    Fixture f;
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    for (std::size_t i = 0; i < 4000; ++i) {
+        MicroOp op;
+        op.pc = 0x1000 + 4 * (i % 16);
+        op.type = OpType::IntAlu;
+        op.dest = 1;
+        op.srcA = 1; // consumes the previous result every time
+        b.op(op);
+    }
+    auto w = b.build("chain");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    CoreHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    auto w2 = independentAlus(4000);
+    MemoryHierarchy mem2(f.memCfg);
+    PentiumMPredictor bp2;
+    OoOCore core2(f.coreCfg, mem2, bp2, f.noPf, hooks);
+    core2.run(*w2);
+    EXPECT_LT(core.stats().ipc(), core2.stats().ipc() * 0.7);
+}
+
+TEST(Core, MispredictsCostCycles)
+{
+    Fixture f;
+    // Pseudo-random outcomes at one PC defeat every predictor
+    // structure (including the loop predictor).
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    std::uint64_t lfsr = 0xace1;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        b.aluBlock(0x1000 + 4 * (i % 8), 1);
+        lfsr = (lfsr >> 1) ^ (-(lfsr & 1u) & 0xb400u);
+        MicroOp br;
+        br.pc = 0x2000;
+        br.type = OpType::BranchCond;
+        br.taken = (lfsr & 1) != 0;
+        br.branchTarget = br.taken ? 0x1000 + 4 * ((i + 1) % 8) : 0;
+        b.op(br);
+    }
+    auto w = b.build("flaky");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    CoreHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    EXPECT_GT(core.stats().mispredicts, 200u);
+    EXPECT_GT(core.stats().branchStallCycles, 0u);
+    EXPECT_LT(core.stats().ipc(), 1.5);
+}
+
+TEST(Core, PerfectBranchSkipsPenalties)
+{
+    Fixture f;
+    f.coreCfg.perfectBranch = true;
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    for (std::size_t i = 0; i < 500; ++i)
+        b.branch(0x1000, i % 2 == 0, 0x1004);
+    auto w = b.build("br");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    CoreHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    EXPECT_EQ(core.stats().mispredicts, 0u);
+    EXPECT_EQ(core.stats().branchStallCycles, 0u);
+    EXPECT_EQ(core.stats().branches, 500u);
+}
+
+TEST(Core, IcacheMissesStallFetch)
+{
+    Fixture f;
+    // Touch 200 distinct, far-apart I-blocks once each: every block is
+    // a cold memory miss.
+    WorkloadBuilder b;
+    b.beginEvent(0x100000);
+    for (std::size_t i = 0; i < 200; ++i)
+        b.alu(0x100000 + i * 64 * 1024);
+    auto w = b.build("coldcode");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    RecordingHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    EXPECT_EQ(core.stats().llcMissesInstr, 200u);
+    EXPECT_GT(core.stats().icacheStallCycles, 200u * 80u);
+    // Each cold fetch is a reportable stall window.
+    EXPECT_EQ(hooks.stalls.size(), 200u);
+    EXPECT_EQ(hooks.stalls[0].kind, StallKind::InstrLlcMiss);
+}
+
+TEST(Core, DataLlcMissDeliversStallWindowWithDest)
+{
+    Fixture f;
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.aluBlock(0x1000, 8);
+    b.load(0x1020, 0x9000000, /*dest=*/5);
+    b.aluBlock(0x1024, 8);
+    auto w = b.build("onemiss");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    RecordingHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    ASSERT_GE(hooks.stalls.size(), 1u);
+    bool found = false;
+    for (const auto &sctx : hooks.stalls) {
+        if (sctx.kind == StallKind::DataLlcMiss && sctx.missDest == 5)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(core.stats().llcMissesData, 1u);
+}
+
+TEST(Core, MlpOverlapsIndependentMisses)
+{
+    Fixture f;
+    // Eight independent cold loads back to back: their memory
+    // latencies overlap in the ROB, so the run is far cheaper than
+    // eight serialised misses.
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    for (std::size_t i = 0; i < 8; ++i)
+        b.load(0x1000 + 4 * i, 0x8000000 + i * 4096,
+               static_cast<std::uint8_t>(i));
+    for (std::size_t i = 0; i < 64; ++i)
+        b.alu(0x1100 + 4 * i);
+    auto w = b.build("mlp");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    CoreHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    // One miss ~124 cycles; 8 serialised plus the cold code blocks
+    // would be well over 1000.
+    EXPECT_LT(core.stats().cycles, 800u);
+}
+
+TEST(Core, LooperOverheadAddsInstructionsBetweenEvents)
+{
+    Fixture f;
+    f.coreCfg.looperOverheadInstr = 70;
+    WorkloadBuilder b;
+    b.beginEvent(0x1000).aluBlock(0x1000, 10);
+    b.beginEvent(0x2000).aluBlock(0x2000, 10);
+    auto w = b.build("two");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    RecordingHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    EXPECT_EQ(core.stats().instructions, 20u + 2u * 70u);
+    EXPECT_EQ(hooks.eventStarts.size(), 2u);
+}
+
+TEST(Core, EventBoundariesInvokeHooksInOrder)
+{
+    Fixture f;
+    WorkloadBuilder b;
+    for (int e = 0; e < 5; ++e)
+        b.beginEvent(0x1000 * (e + 1)).aluBlock(0x1000 * (e + 1), 4);
+    auto w = b.build("five");
+    MemoryHierarchy mem(f.memCfg);
+    PentiumMPredictor bp;
+    RecordingHooks hooks;
+    OoOCore core(f.coreCfg, mem, bp, f.noPf, hooks);
+    core.run(*w);
+    ASSERT_EQ(hooks.eventStarts.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(hooks.eventStarts[i], i);
+}
+
+TEST(Core, CyclesMonotonicWithWork)
+{
+    Fixture f;
+    auto small = independentAlus(1000);
+    auto large = independentAlus(4000);
+    MemoryHierarchy m1(f.memCfg), m2(f.memCfg);
+    PentiumMPredictor b1, b2;
+    CoreHooks hooks;
+    OoOCore c1(f.coreCfg, m1, b1, f.noPf, hooks);
+    OoOCore c2(f.coreCfg, m2, b2, f.noPf, hooks);
+    c1.run(*small);
+    c2.run(*large);
+    EXPECT_LT(c1.stats().cycles, c2.stats().cycles);
+}
+
+TEST(Core, NextLinePrefetcherReducesIcacheStalls)
+{
+    Fixture f;
+    // Long sequential code: next-line prefetching should help a lot.
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    for (std::size_t i = 0; i < 20000; ++i)
+        b.alu(0x1000 + 4 * i);
+    auto w = b.build("seq");
+
+    MemoryHierarchy m1(f.memCfg), m2(f.memCfg);
+    PentiumMPredictor b1, b2;
+    CoreHooks hooks;
+    PrefetcherConfig with_nl;
+    with_nl.nextLineInstr = true;
+    OoOCore base(f.coreCfg, m1, b1, f.noPf, hooks);
+    OoOCore nl(f.coreCfg, m2, b2, with_nl, hooks);
+    base.run(*w);
+    nl.run(*w);
+    EXPECT_LT(nl.stats().icacheStallCycles,
+              base.stats().icacheStallCycles / 2);
+    EXPECT_LT(nl.stats().cycles, base.stats().cycles);
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the energy model: decomposition arithmetic, monotonicity
+ * in each activity, and the speculative-work accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+EnergyInputs
+baseInputs()
+{
+    EnergyInputs in;
+    in.cycles = 100000;
+    in.instructions = 80000;
+    in.branches = 12000;
+    in.mispredicts = 1200;
+    in.l1Accesses = 100000;
+    in.l2Accesses = 2000;
+    in.memAccesses = 150;
+    return in;
+}
+
+} // namespace
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyModel model;
+    const EnergyBreakdown e = model.compute(baseInputs());
+    EXPECT_DOUBLE_EQ(e.total(),
+                     e.staticEnergy + e.mispredictEnergy +
+                         e.restDynamic);
+    EXPECT_GT(e.staticEnergy, 0.0);
+    EXPECT_GT(e.mispredictEnergy, 0.0);
+    EXPECT_GT(e.restDynamic, 0.0);
+}
+
+TEST(Energy, StaticScalesWithCycles)
+{
+    EnergyModel model;
+    EnergyInputs in = baseInputs();
+    const double s1 = model.compute(in).staticEnergy;
+    in.cycles *= 2;
+    const double s2 = model.compute(in).staticEnergy;
+    EXPECT_DOUBLE_EQ(s2, 2 * s1);
+}
+
+TEST(Energy, MispredictEnergyScalesWithMispredicts)
+{
+    EnergyModel model;
+    EnergyInputs in = baseInputs();
+    const double m1 = model.compute(in).mispredictEnergy;
+    in.mispredicts = 0;
+    EXPECT_DOUBLE_EQ(model.compute(in).mispredictEnergy, 0.0);
+    in.mispredicts = 2400;
+    EXPECT_DOUBLE_EQ(model.compute(in).mispredictEnergy, 2 * m1);
+}
+
+TEST(Energy, SpeculativeWorkAddsDynamicEnergy)
+{
+    EnergyModel model;
+    EnergyInputs in = baseInputs();
+    const double d1 = model.compute(in).restDynamic;
+    in.speculativeInstrs = 20000;
+    in.cacheletAccesses = 10000;
+    in.listEntries = 2000;
+    const double d2 = model.compute(in).restDynamic;
+    EXPECT_GT(d2, d1);
+}
+
+TEST(Energy, MemoryAccessesDominatePerEvent)
+{
+    const EnergyConfig cfg;
+    EXPECT_GT(cfg.memAccess, cfg.l2Access);
+    EXPECT_GT(cfg.l2Access, cfg.l1Access);
+    EXPECT_GT(cfg.l1Access, cfg.cacheletAccess);
+}
+
+TEST(Energy, EspTradeoffShapeMatchesPaper)
+{
+    // An ESP run versus its NL baseline: ~20% extra (cheap) spec
+    // instructions, fewer cycles and mispredicts. Net energy overhead
+    // must be positive but modest (paper: ~8%).
+    EnergyModel model;
+    EnergyInputs nl = baseInputs();
+    EnergyInputs esp = nl;
+    esp.cycles = static_cast<Cycle>(nl.cycles * 0.90);
+    esp.mispredicts = static_cast<std::uint64_t>(nl.mispredicts * 0.7);
+    esp.speculativeInstrs = nl.instructions / 5;
+    esp.cacheletAccesses = esp.speculativeInstrs / 2;
+    esp.listEntries = 3000;
+    const double overhead = model.compute(esp).total() /
+        model.compute(nl).total();
+    EXPECT_GT(overhead, 1.0);
+    EXPECT_LT(overhead, 1.25);
+}

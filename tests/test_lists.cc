@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit and property tests for ESP's compressed prediction lists:
+ * record/round-trip fidelity, run-length merging, large-offset escape
+ * cost, byte-capacity enforcement, and the B-list's periodic
+ * instruction-count entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "esp/lists.hh"
+
+using namespace espsim;
+
+TEST(AddressList, AppendAndReadBack)
+{
+    AddressList list(499);
+    EXPECT_TRUE(list.append(0x1000, 10));
+    EXPECT_TRUE(list.append(0x2000, 20));
+    ASSERT_EQ(list.records().size(), 2u);
+    EXPECT_EQ(list.records()[0].blockAddr, 0x1000u);
+    EXPECT_EQ(list.records()[0].instCount, 10u);
+    EXPECT_EQ(list.records()[1].blockAddr, 0x2000u);
+}
+
+TEST(AddressList, ContiguousBlocksMergeIntoRuns)
+{
+    AddressList list(499);
+    for (int i = 0; i < 5; ++i)
+        list.append(0x1000 + i * blockBytes, 10 + i);
+    ASSERT_EQ(list.records().size(), 1u);
+    EXPECT_EQ(list.records()[0].runLength, 4u);
+    // A run costs no extra bits beyond the base entry (+first-entry
+    // full address).
+    EXPECT_EQ(list.bitsUsed(), AddressList::entryBits * 3);
+}
+
+TEST(AddressList, RunLengthFieldSaturatesAtSeven)
+{
+    AddressList list(499);
+    for (int i = 0; i < 12; ++i)
+        list.append(0x1000 + i * blockBytes, i);
+    ASSERT_EQ(list.records().size(), 2u);
+    EXPECT_EQ(list.records()[0].runLength, 7u);
+    EXPECT_EQ(list.records()[1].blockAddr, 0x1000u + 8 * blockBytes);
+}
+
+TEST(AddressList, RetouchOfSameBlockFree)
+{
+    AddressList list(499);
+    list.append(0x1000, 1);
+    const auto bits = list.bitsUsed();
+    list.append(0x1008, 2); // same block
+    EXPECT_EQ(list.bitsUsed(), bits);
+    EXPECT_EQ(list.records().size(), 1u);
+}
+
+TEST(AddressList, NearbyOffsetCheaperThanFarEscape)
+{
+    AddressList near_list(499), far_list(499);
+    near_list.append(0x10000, 1);
+    near_list.append(0x10000 + 4 * blockBytes, 2); // fits 8-bit delta
+    far_list.append(0x10000, 1);
+    far_list.append(0x90000, 2); // escape: full address entries
+    EXPECT_LT(near_list.bitsUsed(), far_list.bitsUsed());
+    EXPECT_EQ(far_list.bitsUsed() - AddressList::entryBits * 3,
+              AddressList::entryBits * 3);
+}
+
+TEST(AddressList, CapacityStopsRecording)
+{
+    AddressList list(16); // 128 bits: very small
+    std::size_t accepted = 0;
+    for (int i = 0; i < 100; ++i)
+        accepted += list.append(0x1000 + 2 * i * blockBytes, i);
+    EXPECT_LT(accepted, 100u);
+    EXPECT_TRUE(list.full());
+    EXPECT_LE(list.bitsUsed(), 16u * 8u);
+    // Once full, everything is rejected.
+    EXPECT_FALSE(list.append(0xffff000, 101));
+}
+
+TEST(AddressList, UnboundedNeverFills)
+{
+    AddressList list(0);
+    EXPECT_TRUE(list.unbounded());
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_TRUE(list.append(0x1000 + 3 * i * blockBytes, i));
+    EXPECT_FALSE(list.full());
+}
+
+TEST(AddressList, ClearResets)
+{
+    AddressList list(64);
+    list.append(0x1000, 1);
+    list.clear();
+    EXPECT_EQ(list.records().size(), 0u);
+    EXPECT_EQ(list.bitsUsed(), 0u);
+    EXPECT_FALSE(list.full());
+}
+
+TEST(AddressList, LargeInstGapChargesPadding)
+{
+    AddressList a(499), b(499);
+    a.append(0x1000, 1);
+    a.append(0x1000 + blockBytes * 9, 5); // small gap
+    b.append(0x1000, 1);
+    b.append(0x1000 + blockBytes * 9, 5000); // 5000-instruction gap
+    EXPECT_LT(a.bitsUsed(), b.bitsUsed());
+}
+
+/** Property: capacity accounting is conserved under random streams. */
+class AddressListFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AddressListFuzz, NeverExceedsCapacityAndKeepsOrder)
+{
+    Rng rng(GetParam());
+    AddressList list(499);
+    Addr pc = 0x100000;
+    InstCount count = 0;
+    while (!list.full()) {
+        count += rng.below(30);
+        if (rng.chance(0.7))
+            pc += blockBytes * rng.range(0, 3);
+        else
+            pc = 0x100000 + blockBytes * rng.below(1 << 16);
+        if (!list.append(pc, count))
+            break;
+    }
+    EXPECT_LE(list.bitsUsed(), 499u * 8u);
+    // Records' instruction counts must be non-decreasing.
+    InstCount prev = 0;
+    for (const AddressRecord &rec : list.records()) {
+        EXPECT_GE(rec.instCount, prev);
+        prev = rec.instCount;
+        EXPECT_EQ(rec.blockAddr % blockBytes, 0u);
+        EXPECT_LE(rec.runLength, 7u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressListFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- BranchList ------------------------------------------------------
+
+namespace
+{
+
+BranchRecord
+rec(Addr pc, bool taken, bool indirect = false, Addr target = 0)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.taken = taken;
+    r.indirect = indirect;
+    r.target = target;
+    r.type = indirect ? OpType::BranchIndirect : OpType::BranchCond;
+    return r;
+}
+
+} // namespace
+
+TEST(BranchList, AppendAndReadBack)
+{
+    BranchList list(566, 41);
+    EXPECT_TRUE(list.append(rec(0x1000, true)));
+    EXPECT_TRUE(list.append(rec(0x1010, false)));
+    ASSERT_EQ(list.records().size(), 2u);
+    EXPECT_TRUE(list.records()[0].taken);
+    EXPECT_FALSE(list.records()[1].taken);
+}
+
+TEST(BranchList, DirectionCapacityBounds)
+{
+    BranchList list(30, 41); // tiny direction queue
+    std::size_t accepted = 0;
+    for (int i = 0; i < 200; ++i)
+        accepted += list.append(rec(0x1000 + 4 * i, true));
+    EXPECT_LT(accepted, 200u);
+    EXPECT_TRUE(list.full());
+    EXPECT_LE(list.dirBitsUsed(), 30u * 8u);
+}
+
+TEST(BranchList, TargetCapacityOnlyChargedForTakenIndirect)
+{
+    BranchList list(566, 5); // tiny target queue
+    // Conditional branches never touch the target list.
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(list.append(rec(0x1000 + 4 * i, true)));
+    EXPECT_EQ(list.tgtBitsUsed(), 0u);
+    // Taken indirect branches do.
+    list.append(rec(0x2000, true, true, 0x2200));
+    EXPECT_GT(list.tgtBitsUsed(), 0u);
+}
+
+TEST(BranchList, FarIndirectTargetEscapes)
+{
+    BranchList a(566, 410), b(566, 410);
+    a.append(rec(0x1000, true, true, 0x1800));       // 16-bit offset
+    b.append(rec(0x1000, true, true, 0x99990000)); // escapes
+    EXPECT_LT(a.tgtBitsUsed(), b.tgtBitsUsed());
+}
+
+TEST(BranchList, PeriodicInstCountEntriesCharged)
+{
+    // The first entries of every block of 30 carry instruction counts;
+    // appending exactly 30 sequential branches costs 30 entries + 2*2
+    // overhead entries (one pair per period boundary crossed).
+    BranchList list(566, 41);
+    for (int i = 0; i < 30; ++i)
+        list.append(rec(0x1000 + 4 * i, false));
+    EXPECT_EQ(list.dirBitsUsed(),
+              BranchList::dirEntryBits * (30 + 2));
+}
+
+TEST(BranchList, ClearResets)
+{
+    BranchList list(64, 8);
+    list.append(rec(0x1000, true));
+    list.clear();
+    EXPECT_TRUE(list.records().empty());
+    EXPECT_EQ(list.dirBitsUsed(), 0u);
+    EXPECT_FALSE(list.full());
+}
+
+TEST(ListCursor, ExhaustionTracking)
+{
+    ListCursor cur;
+    std::vector<AddressRecord> recs(3);
+    EXPECT_FALSE(cur.exhausted(recs));
+    cur.next = 3;
+    EXPECT_TRUE(cur.exhausted(recs));
+    cur.reset();
+    EXPECT_EQ(cur.next, 0u);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the baseline prefetchers: next-line instruction,
+ * DCU-style next-line data (4-consecutive trigger), and the 256-entry
+ * stride prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "prefetch/next_line.hh"
+#include "prefetch/stride.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+HierarchyConfig
+smallConfig()
+{
+    HierarchyConfig c;
+    c.l1i = {"L1-I", 1024, 2, 2};
+    c.l1d = {"L1-D", 1024, 2, 2};
+    c.l2 = {"L2", 16 * 1024, 4, 21};
+    return c;
+}
+
+} // namespace
+
+TEST(NextLineInstr, PrefetchesFollowingBlock)
+{
+    MemoryHierarchy mem(smallConfig());
+    NextLineInstrPrefetcher nl;
+    mem.accessInstr(0x1000, 0);
+    nl.notifyAccess(mem, 0x1000, 0);
+    EXPECT_EQ(mem.prefetchesIssued(), 1u);
+    // 0x1040 (next block) should now be present.
+    EXPECT_EQ(mem.accessInstr(0x1040, 10'000).level, HitLevel::L1);
+}
+
+TEST(NextLineInstr, NoDuplicateOnSameBlock)
+{
+    MemoryHierarchy mem(smallConfig());
+    NextLineInstrPrefetcher nl;
+    nl.notifyAccess(mem, 0x1000, 0);
+    nl.notifyAccess(mem, 0x1004, 0); // same block: filtered
+    nl.notifyAccess(mem, 0x1038, 0);
+    EXPECT_EQ(mem.prefetchesIssued(), 1u);
+}
+
+TEST(NextLineInstr, DegreeTwoPrefetchesTwoBlocks)
+{
+    MemoryHierarchy mem(smallConfig());
+    NextLineInstrPrefetcher nl(2);
+    nl.notifyAccess(mem, 0x1000, 0);
+    EXPECT_EQ(mem.prefetchesIssued(), 2u);
+    EXPECT_EQ(mem.accessInstr(0x1080, 10'000).level, HitLevel::L1);
+}
+
+TEST(Dcu, RequiresFourConsecutiveAccesses)
+{
+    MemoryHierarchy mem(smallConfig());
+    DcuPrefetcher dcu(4);
+    for (int i = 0; i < 3; ++i)
+        dcu.notifyAccess(mem, 0x2000 + 8 * i, 0);
+    EXPECT_EQ(mem.prefetchesIssued(), 0u);
+    dcu.notifyAccess(mem, 0x2018, 0); // 4th access to the same line
+    EXPECT_EQ(mem.prefetchesIssued(), 1u);
+    EXPECT_EQ(mem.accessData(0x2040, false, 10'000).level, HitLevel::L1);
+}
+
+TEST(Dcu, CounterResetsOnLineChange)
+{
+    MemoryHierarchy mem(smallConfig());
+    DcuPrefetcher dcu(4);
+    dcu.notifyAccess(mem, 0x2000, 0);
+    dcu.notifyAccess(mem, 0x2008, 0);
+    dcu.notifyAccess(mem, 0x3000, 0); // different line: reset
+    dcu.notifyAccess(mem, 0x2000, 0);
+    dcu.notifyAccess(mem, 0x2008, 0);
+    dcu.notifyAccess(mem, 0x2010, 0);
+    EXPECT_EQ(mem.prefetchesIssued(), 0u);
+}
+
+TEST(Stride, DetectsConstantStride)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(256);
+    const Addr pc = 0x1000;
+    // Stride of 256 bytes: needs a few observations to gain confidence.
+    for (int i = 0; i < 4; ++i)
+        sp.notifyAccess(mem, pc, 0x10000 + 256 * i, 0);
+    EXPECT_GE(sp.confidentEntries(), 1u);
+    EXPECT_GT(mem.prefetchesIssued(), 0u);
+    // The predicted next address should be resident.
+    EXPECT_EQ(mem.accessData(0x10000 + 256 * 4, false, 10'000).level,
+              HitLevel::L1);
+}
+
+TEST(Stride, IgnoresRandomPattern)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(256);
+    const Addr addrs[] = {0x1000, 0x9438, 0x2210, 0x7fff8, 0x330};
+    for (Addr a : addrs)
+        sp.notifyAccess(mem, 0x1000, a, 0);
+    EXPECT_EQ(sp.confidentEntries(), 0u);
+}
+
+TEST(Stride, ZeroStrideDoesNotPrefetch)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(256);
+    for (int i = 0; i < 8; ++i)
+        sp.notifyAccess(mem, 0x1000, 0x5000, 0);
+    EXPECT_EQ(mem.prefetchesIssued(), 0u);
+}
+
+TEST(Stride, DistinctPcsTrackedIndependently)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(256);
+    // PCs chosen to land in different table slots.
+    for (int i = 0; i < 4; ++i) {
+        sp.notifyAccess(mem, 0x1000, 0x10000 + 64 * i, 0);
+        sp.notifyAccess(mem, 0x1010, 0x80000 + 128 * i, 0);
+    }
+    EXPECT_GE(sp.confidentEntries(), 2u);
+}
+
+TEST(Stride, TagMismatchReallocates)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(4); // tiny table to force aliasing
+    // Two PCs 4 entries apart alias to the same slot with different
+    // tags; the second allocation replaces the first.
+    for (int i = 0; i < 4; ++i)
+        sp.notifyAccess(mem, 0x1000, 0x10000 + 64 * i, 0);
+    const auto confident_before = sp.confidentEntries();
+    sp.notifyAccess(mem, 0x1000 + 4 * 4 * 4, 0x90000, 0);
+    EXPECT_LE(sp.confidentEntries(), confident_before);
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the runahead execution engine: trigger conditions, data
+ * cache warming, INV-bit dependence tracking, wrong-path and I-miss
+ * stops, branch-context checkpointing, and episode deduplication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/runahead.hh"
+#include "workload/builder.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+struct Rig
+{
+    std::unique_ptr<InMemoryWorkload> w;
+    MemoryHierarchy mem{HierarchyConfig{}};
+    PentiumMPredictor bp;
+    RunaheadConfig cfg;
+
+    explicit Rig(std::unique_ptr<InMemoryWorkload> workload)
+        : w(std::move(workload))
+    {
+    }
+
+    RunaheadEngine
+    engine()
+    {
+        return RunaheadEngine(cfg, mem, bp, *w, 4);
+    }
+
+    /** Warm the event's code into the caches (the current event is
+     *  executing, so its code path has been fetched). */
+    void
+    warmCode(std::size_t event_idx = 0)
+    {
+        mem.setStatCounting(false);
+        for (const MicroOp &op : w->event(event_idx).ops)
+            mem.accessInstr(op.pc, 0);
+        mem.setStatCounting(true);
+    }
+
+    StallContext
+    dataStall(std::size_t trigger_op, std::uint8_t dest = noReg,
+              Cycle idle = 120)
+    {
+        StallContext ctx;
+        ctx.kind = StallKind::DataLlcMiss;
+        ctx.idleCycles = idle;
+        ctx.triggerOpIdx = trigger_op;
+        ctx.missDest = dest;
+        return ctx;
+    }
+};
+
+std::unique_ptr<InMemoryWorkload>
+loadHeavyEvent()
+{
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.load(0x1000, 0x8000000, 1); // the "missing" load
+    for (int i = 0; i < 20; ++i)
+        b.load(0x1004 + 4 * i, 0x9000000 + i * 4096,
+               static_cast<std::uint8_t>(2 + i % 8));
+    return b.build("loads");
+}
+
+} // namespace
+
+TEST(Runahead, IgnoresInstructionSideStalls)
+{
+    Rig rig(loadHeavyEvent());
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    StallContext ctx;
+    ctx.kind = StallKind::InstrLlcMiss;
+    ctx.idleCycles = 200;
+    engine.onStall(ctx);
+    EXPECT_EQ(engine.stats().entries, 0u);
+    EXPECT_EQ(engine.stats().instructions, 0u);
+}
+
+TEST(Runahead, WarmsDataCacheAlongFuturePath)
+{
+    Rig rig(loadHeavyEvent());
+    auto engine = rig.engine();
+    rig.warmCode();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(0, 1, 400));
+    EXPECT_EQ(engine.stats().entries, 1u);
+    EXPECT_GT(engine.stats().instructions, 0u);
+    // Future load addresses should now be resident in the hierarchy
+    // (possibly only in L2 if later warms conflict-evicted them).
+    EXPECT_NE(rig.mem.probeData(0x9000000).level, HitLevel::Memory);
+}
+
+TEST(Runahead, InvalidDestBlocksDependentLoads)
+{
+    // Load into r1 misses; a dependent load uses r1 as address base —
+    // runahead must not prefetch it (address unknown).
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.load(0x1000, 0x8000000, 1);
+    MicroOp dep;
+    dep.pc = 0x1004;
+    dep.type = OpType::Load;
+    dep.memAddr = 0x9000000;
+    dep.srcA = 1; // depends on the missing load
+    dep.dest = 2;
+    b.op(dep);
+    MicroOp indep;
+    indep.pc = 0x1008;
+    indep.type = OpType::Load;
+    indep.memAddr = 0xa000000;
+    indep.srcA = 7;
+    indep.dest = 3;
+    b.op(indep);
+    Rig rig(b.build("dep"));
+    rig.warmCode();
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(1, 1, 400));
+    EXPECT_GE(engine.stats().invalidOps, 1u);
+    // The dependent load's block was not fetched...
+    EXPECT_NE(rig.mem.probeData(0x9000000).level, HitLevel::L1);
+    // ...but the independent one was.
+    EXPECT_EQ(rig.mem.probeData(0xa000000).level, HitLevel::L1);
+}
+
+TEST(Runahead, StopsAtInstructionLlcMiss)
+{
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.aluBlock(0x1000, 4);
+    b.alu(0x5000000); // far-away cold block: LLC I-miss in runahead
+    b.load(0x5000004, 0x9000000, 2);
+    Rig rig(b.build("imiss"));
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(0, noReg, 2000));
+    EXPECT_EQ(engine.stats().stoppedOnInstrMiss, 1u);
+    EXPECT_NE(rig.mem.probeData(0x9000000).level, HitLevel::L1);
+}
+
+TEST(Runahead, StopsOnWrongPathWhenInvalidBranchMispredicted)
+{
+    // A cold conditional branch depending on the missing load: the
+    // (cold) prediction is not-taken, the actual direction is taken,
+    // so runahead diverges and must stop.
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.load(0x1000, 0x8000000, 1);
+    MicroOp br;
+    br.pc = 0x1004;
+    br.type = OpType::BranchCond;
+    br.taken = true;
+    br.branchTarget = 0x2000;
+    br.srcA = 1;
+    b.op(br);
+    b.load(0x2000, 0x9000000, 2);
+    Rig rig(b.build("wrongpath"));
+    rig.warmCode();
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(1, 1, 2000));
+    EXPECT_EQ(engine.stats().stoppedOnWrongPath, 1u);
+    EXPECT_NE(rig.mem.probeData(0x9000000).level, HitLevel::L1);
+}
+
+TEST(Runahead, BranchContextRestoredAfterEpisode)
+{
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.call(0x1000, 0x2000);
+    b.aluBlock(0x2000, 4);
+    Rig rig(b.build("calls"));
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    const auto pir_before = rig.bp.context().pir.value();
+    const auto ras_before = rig.bp.context().ras.size();
+    engine.onStall(rig.dataStall(0, noReg, 400));
+    EXPECT_EQ(rig.bp.context().pir.value(), pir_before);
+    EXPECT_EQ(rig.bp.context().ras.size(), ras_before);
+}
+
+TEST(Runahead, EpisodesDeduplicateCoveredGround)
+{
+    Rig rig(loadHeavyEvent());
+    rig.warmCode();
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(0, noReg, 4000));
+    const auto instrs_first = engine.stats().instructions;
+    // A second stall at the same trigger must not re-walk everything.
+    engine.onStall(rig.dataStall(0, noReg, 4000));
+    EXPECT_EQ(engine.stats().instructions, instrs_first);
+}
+
+TEST(Runahead, CoverageResetsOnNewEvent)
+{
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.load(0x1000, 0x8000000, 1);
+    b.load(0x1004, 0x9000000, 2);
+    b.beginEvent(0x1000);
+    b.load(0x1000, 0x8000000, 1);
+    b.load(0x1004, 0x9000000, 2);
+    Rig rig(b.build("twice"));
+    rig.warmCode(0);
+    rig.warmCode(1);
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(0, noReg, 400));
+    const auto n1 = engine.stats().instructions;
+    EXPECT_GT(n1, 0u);
+    engine.onEventStart(1, 100);
+    engine.onStall(rig.dataStall(0, noReg, 400));
+    EXPECT_GT(engine.stats().instructions, n1);
+}
+
+TEST(Runahead, DataOnlyVariantDoesNotTrainPredictor)
+{
+    WorkloadBuilder b;
+    b.beginEvent(0x1000);
+    b.load(0x1000, 0x8000000, 1);
+    for (int i = 0; i < 10; ++i)
+        b.branch(0x1004 + 8 * i, true, 0x1008 + 8 * i);
+    Rig rig(b.build("branches"));
+    rig.cfg.trainBranchPredictor = false;
+    rig.cfg.warmInstr = false;
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(0, noReg, 2000));
+    // The predictor saw nothing: a cold taken branch still mispredicts.
+    MicroOp br;
+    br.pc = 0x1004;
+    br.type = OpType::BranchCond;
+    br.taken = true;
+    br.branchTarget = 0x100c;
+    EXPECT_EQ(rig.bp.executeBranch(br), BranchResult::Mispredict);
+}
+
+TEST(Runahead, StatsAreGatedDuringEpisodes)
+{
+    Rig rig(loadHeavyEvent());
+    rig.warmCode();
+    auto engine = rig.engine();
+    engine.onEventStart(0, 0);
+    engine.onStall(rig.dataStall(0, noReg, 1000));
+    // Demand-side counters must not include runahead traffic.
+    EXPECT_EQ(rig.mem.l1dAccesses(), 0u);
+    EXPECT_EQ(rig.mem.l1iAccesses(), 0u);
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Integration tests of the Simulator facade and config presets: full
+ * runs on a small synthetic app, cross-config invariants (the paper's
+ * qualitative orderings), determinism, and derived-metric sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "sim/stats_report.hh"
+#include "workload/generator.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+/** Small-but-realistic app for integration runs (~150k insts). */
+AppProfile
+integrationProfile()
+{
+    AppProfile p = AppProfile::byName("amazon");
+    p.name = "amazon-small";
+    p.numEvents = 12;
+    p.avgEventLen = 12000;
+    return p;
+}
+
+const InMemoryWorkload &
+sharedWorkload()
+{
+    static auto w = SyntheticGenerator(integrationProfile()).generate();
+    return *w;
+}
+
+SimResult
+run(const SimConfig &cfg)
+{
+    return Simulator(cfg).run(sharedWorkload());
+}
+
+} // namespace
+
+TEST(Sim, DeterministicAcrossRuns)
+{
+    const SimResult a = run(SimConfig::espFull(true));
+    const SimResult b = run(SimConfig::espFull(true));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.core.mispredicts, b.core.mispredicts);
+    EXPECT_DOUBLE_EQ(a.l1iMpki, b.l1iMpki);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Sim, InstructionCountInvariantAcrossConfigs)
+{
+    // Every config executes the same committed instruction stream.
+    const auto base = run(SimConfig::baseline());
+    for (const SimConfig &cfg :
+         {SimConfig::nextLine(), SimConfig::nextLineStride(),
+          SimConfig::runaheadExec(true), SimConfig::espFull(true),
+          SimConfig::espNaive(true)}) {
+        EXPECT_EQ(run(cfg).core.instructions, base.core.instructions)
+            << cfg.name;
+    }
+}
+
+TEST(Sim, PrefetchersNeverSlowTheBaselineDown)
+{
+    const auto base = run(SimConfig::baseline());
+    const auto nl = run(SimConfig::nextLine());
+    EXPECT_LT(nl.cycles, base.cycles);
+    EXPECT_LT(nl.l1iMpki, base.l1iMpki);
+}
+
+TEST(Sim, EspBeatsNextLineAlone)
+{
+    const auto nl = run(SimConfig::nextLine());
+    const auto esp = run(SimConfig::espFull(true));
+    EXPECT_LT(esp.cycles, nl.cycles);
+    EXPECT_LT(esp.l1iMpki, nl.l1iMpki);
+    EXPECT_LE(esp.mispredictRate, nl.mispredictRate);
+}
+
+TEST(Sim, EspAloneBeatsBaseline)
+{
+    const auto base = run(SimConfig::baseline());
+    const auto esp = run(SimConfig::espFull(false));
+    EXPECT_LT(esp.cycles, base.cycles);
+}
+
+TEST(Sim, PerfectAllDominatesEverything)
+{
+    const auto perfect = run(SimConfig::perfect(true, true, true));
+    for (const SimConfig &cfg :
+         {SimConfig::baseline(), SimConfig::nextLineStride(),
+          SimConfig::espFull(true)}) {
+        EXPECT_LT(perfect.cycles, run(cfg).cycles) << cfg.name;
+    }
+    EXPECT_EQ(perfect.core.mispredicts, 0u);
+    EXPECT_DOUBLE_EQ(perfect.l1iMpki, 0.0);
+}
+
+TEST(Sim, PerfectComponentsZeroTheirMetric)
+{
+    const auto pl1i = run(SimConfig::perfect(false, false, true));
+    EXPECT_DOUBLE_EQ(pl1i.l1iMpki, 0.0);
+    const auto pl1d = run(SimConfig::perfect(true, false, false));
+    EXPECT_DOUBLE_EQ(pl1d.l1dMissRate, 0.0);
+    const auto pbp = run(SimConfig::perfect(false, true, false));
+    EXPECT_DOUBLE_EQ(pbp.mispredictRate, 0.0);
+}
+
+TEST(Sim, IdealEspAtLeastAsGoodAsReal)
+{
+    const auto real = run(SimConfig::espInstrOnly(true, false));
+    const auto ideal = run(SimConfig::espInstrOnly(true, true));
+    EXPECT_LE(ideal.l1iMpki, real.l1iMpki * 1.02);
+}
+
+TEST(Sim, EspSpeculationAccuracyMatchesPaperClaim)
+{
+    const auto esp = run(SimConfig::espFull(true));
+    // Paper: pre-executions match their normal counterparts > 99%,
+    // with ~2% dependent events; our independence-weighted match
+    // fraction must be at least 97%.
+    EXPECT_GT(esp.stats.get("esp.spec_match_fraction"), 0.97);
+}
+
+TEST(Sim, EspExtraInstructionsReasonable)
+{
+    const auto esp = run(SimConfig::espFull(true));
+    EXPECT_GT(esp.extraInstrFraction, 0.02);
+    EXPECT_LT(esp.extraInstrFraction, 0.8);
+}
+
+TEST(Sim, EspEnergyOverheadIsModest)
+{
+    const auto nl = run(SimConfig::nextLine());
+    const auto esp = run(SimConfig::espFull(true));
+    const double rel = esp.energy.total() / nl.energy.total();
+    EXPECT_GT(rel, 0.95);
+    EXPECT_LT(rel, 1.30);
+}
+
+TEST(Sim, RunaheadReducesDataMissRate)
+{
+    const auto base = run(SimConfig::baseline());
+    const auto ra = run(SimConfig::runaheadDataOnly(false));
+    EXPECT_LT(ra.l1dMissRate, base.l1dMissRate);
+    // Runahead-D must not touch branch behaviour.
+    EXPECT_EQ(ra.core.mispredicts, base.core.mispredicts);
+}
+
+TEST(Sim, SpeedupHelpersConsistent)
+{
+    const auto base = run(SimConfig::baseline());
+    const auto esp = run(SimConfig::espFull(true));
+    const double speedup = esp.speedupOver(base);
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_NEAR(esp.improvementPctOver(base), (speedup - 1) * 100,
+                1e-9);
+}
+
+TEST(Sim, StatsExportHeadlineMetrics)
+{
+    const auto r = run(SimConfig::espFull(true));
+    EXPECT_GT(r.stats.get("derived.ipc"), 0.0);
+    EXPECT_GT(r.stats.get("mem.l1i.accesses"), 0.0);
+    EXPECT_GT(r.stats.get("energy.total"), 0.0);
+    EXPECT_GT(r.stats.get("esp.jumps"), 0.0);
+}
+
+TEST(Sim, ConfigPresetNamesAreStable)
+{
+    EXPECT_EQ(SimConfig::baseline().name, "base");
+    EXPECT_EQ(SimConfig::nextLine().name, "NL");
+    EXPECT_EQ(SimConfig::nextLineStride().name, "NL+S");
+    EXPECT_EQ(SimConfig::runaheadExec(true).name, "Runahead+NL");
+    EXPECT_EQ(SimConfig::espFull(true).name, "ESP+NL");
+    EXPECT_EQ(SimConfig::espNaive(false).name, "NaiveESP");
+    EXPECT_EQ(SimConfig::espAblation(true, true, false).name,
+              "ESP-I,B+NL");
+    EXPECT_EQ(SimConfig::perfect(true, true, true).name, "perfect All");
+}
+
+TEST(Sim, BranchPolicyPresetsConfigureEsp)
+{
+    const auto cfg =
+        SimConfig::espBranchPolicy(BranchPolicy::SeparatePirAndTables);
+    EXPECT_EQ(cfg.esp.branchPolicy, BranchPolicy::SeparatePirAndTables);
+    EXPECT_FALSE(cfg.esp.useBList);
+    const auto esp_cfg =
+        SimConfig::espBranchPolicy(BranchPolicy::SeparatePirPlusBList);
+    EXPECT_TRUE(esp_cfg.esp.useBList);
+}
+
+TEST(Sim, WorkingSetStudyProducesDepthSamples)
+{
+    auto cfg = SimConfig::espWorkingSetStudy(4);
+    const auto r = Simulator(cfg).run(sharedWorkload());
+    ASSERT_EQ(r.instrWorkingSets.size(), 4u);
+    EXPECT_GT(r.instrWorkingSets[0].count(), 0u);
+    // Deeper contexts see monotonically less activity.
+    EXPECT_GE(r.instrWorkingSets[0].count(),
+              r.instrWorkingSets[2].count());
+}
+
+TEST(SuiteRunnerTest, RunsConfigsAcrossApps)
+{
+    AppProfile tiny = AppProfile::testProfile();
+    tiny.numEvents = 10;
+    AppProfile tiny2 = tiny;
+    tiny2.name = "test2";
+    tiny2.seed = 777;
+    SuiteRunner runner({tiny, tiny2});
+    const auto rows = runner.run(
+        {SimConfig::baseline(), SimConfig::espFull(true)});
+    ASSERT_EQ(rows.size(), 2u);
+    ASSERT_EQ(rows[0].results.size(), 2u);
+    EXPECT_EQ(rows[0].app, "test");
+    EXPECT_EQ(rows[1].app, "test2");
+    const double imp = hmeanImprovementPct(rows, 1, 0);
+    EXPECT_GT(imp, -50.0);
+    EXPECT_LT(imp, 200.0);
+    const double mpki = hmeanMetric(rows, 0, [](const SimResult &r) {
+        return r.l1iMpki + 0.001;
+    });
+    EXPECT_GT(mpki, 0.0);
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * `espsim` — the command-line driver an OSS release ships:
+ *
+ *   espsim run   --app amazon --config ESP+NL [--stats]
+ *   espsim run   --trace file.espw --config NL+S
+ *   espsim suite --configs base,NL,ESP+NL
+ *   espsim gen   --app gmaps --out gmaps.espw [--events N]
+ *   espsim list  (apps and configs)
+ *
+ * Exit code 0 on success, 1 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/stats_report.hh"
+#include "trace/trace_io.hh"
+#include "workload/generator.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+/** All named design points the CLI can run. */
+const std::map<std::string, std::function<SimConfig()>> &
+configRegistry()
+{
+    static const std::map<std::string, std::function<SimConfig()>> reg{
+        {"base", [] { return SimConfig::baseline(); }},
+        {"NL", [] { return SimConfig::nextLine(); }},
+        {"NL+S", [] { return SimConfig::nextLineStride(); }},
+        {"Runahead", [] { return SimConfig::runaheadExec(false); }},
+        {"Runahead+NL", [] { return SimConfig::runaheadExec(true); }},
+        {"ESP", [] { return SimConfig::espFull(false); }},
+        {"ESP+NL", [] { return SimConfig::espFull(true); }},
+        {"NaiveESP+NL", [] { return SimConfig::espNaive(true); }},
+        {"perfect", [] { return SimConfig::perfect(true, true, true); }},
+    };
+    return reg;
+}
+
+int
+usage()
+{
+    std::puts(
+        "usage:\n"
+        "  espsim run   --app <name>|--trace <file> --config <name> "
+        "[--stats]\n"
+        "  espsim suite [--configs a,b,c]\n"
+        "  espsim gen   --app <name> --out <file> [--events N]\n"
+        "  espsim list");
+    return 1;
+}
+
+/** Minimal flag parser: --key value pairs after the subcommand. */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int from)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = from; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-')
+            flags[key] = argv[++i];
+        else
+            flags[key] = "1";
+    }
+    return flags;
+}
+
+std::optional<SimConfig>
+lookupConfig(const std::string &name)
+{
+    const auto &reg = configRegistry();
+    auto it = reg.find(name);
+    if (it == reg.end()) {
+        std::fprintf(stderr, "unknown config '%s' (try: espsim list)\n",
+                     name.c_str());
+        return std::nullopt;
+    }
+    return it->second();
+}
+
+int
+cmdList()
+{
+    std::puts("applications:");
+    for (const AppProfile &p : AppProfile::webSuite())
+        std::printf("  %-9s %s\n", p.name.c_str(),
+                    p.description.c_str());
+    std::puts("configs:");
+    for (const auto &[name, make] : configRegistry()) {
+        (void)make;
+        std::printf("  %s\n", name.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const std::map<std::string, std::string> &flags)
+{
+    const auto cfg_it = flags.find("config");
+    const std::string cfg_name =
+        cfg_it == flags.end() ? "ESP+NL" : cfg_it->second;
+    const auto config = lookupConfig(cfg_name);
+    if (!config)
+        return 1;
+
+    std::unique_ptr<InMemoryWorkload> workload;
+    if (auto it = flags.find("trace"); it != flags.end()) {
+        workload = loadWorkload(it->second);
+        if (!workload) {
+            std::fprintf(stderr, "malformed trace file '%s'\n",
+                         it->second.c_str());
+            return 1;
+        }
+    } else {
+        const auto app_it = flags.find("app");
+        const std::string app =
+            app_it == flags.end() ? "amazon" : app_it->second;
+        workload = SyntheticGenerator(AppProfile::byName(app)).generate();
+    }
+
+    const SimResult r = Simulator(*config).run(*workload);
+    std::printf("%s on %s: %llu cycles, IPC %.3f, L1I-MPKI %.2f, "
+                "L1D-miss %.2f%%, BP-miss %.2f%%\n",
+                r.configName.c_str(), r.workloadName.c_str(),
+                static_cast<unsigned long long>(r.cycles), r.ipc,
+                r.l1iMpki, 100.0 * r.l1dMissRate,
+                100.0 * r.mispredictRate);
+    if (flags.count("stats"))
+        std::fputs(r.stats.dump("  ").c_str(), stdout);
+    return 0;
+}
+
+int
+cmdSuite(const std::map<std::string, std::string> &flags)
+{
+    std::vector<std::string> names{"base", "NL+S", "Runahead+NL",
+                                   "ESP+NL"};
+    if (auto it = flags.find("configs"); it != flags.end()) {
+        names.clear();
+        std::stringstream ss(it->second);
+        std::string token;
+        while (std::getline(ss, token, ','))
+            names.push_back(token);
+    }
+    std::vector<SimConfig> configs;
+    for (const std::string &name : names) {
+        const auto cfg = lookupConfig(name);
+        if (!cfg)
+            return 1;
+        configs.push_back(*cfg);
+    }
+
+    const SuiteRunner runner;
+    const auto rows = runner.run(configs, true);
+    TextTable table("suite results (cycles; % improvement over first "
+                    "config)");
+    std::vector<std::string> header{"app"};
+    for (const auto &cfg : configs)
+        header.push_back(cfg.name);
+    table.header(header);
+    for (const SuiteRow &row : rows) {
+        std::vector<std::string> cells{row.app};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            if (c == 0) {
+                cells.push_back(TextTable::num(
+                    static_cast<double>(row.results[0].cycles), 0));
+            } else {
+                cells.push_back(
+                    TextTable::num(row.results[c].improvementPctOver(
+                                       row.results[0]),
+                                   1) +
+                    "%");
+            }
+        }
+        table.row(cells);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdGen(const std::map<std::string, std::string> &flags)
+{
+    const auto app_it = flags.find("app");
+    const auto out_it = flags.find("out");
+    if (app_it == flags.end() || out_it == flags.end())
+        return usage();
+    AppProfile profile = AppProfile::byName(app_it->second);
+    if (auto it = flags.find("events"); it != flags.end())
+        profile.numEvents = std::stoul(it->second);
+    const auto workload = SyntheticGenerator(profile).generate();
+    if (!saveWorkload(out_it->second, *workload)) {
+        std::fprintf(stderr, "write failed\n");
+        return 1;
+    }
+    std::printf("wrote %zu events (%llu instructions) to %s\n",
+                workload->numEvents(),
+                static_cast<unsigned long long>(
+                    workload->totalInstructions()),
+                out_it->second.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const auto flags = parseFlags(argc, argv, 2);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(flags);
+    if (cmd == "suite")
+        return cmdSuite(flags);
+    if (cmd == "gen")
+        return cmdGen(flags);
+    return usage();
+}
