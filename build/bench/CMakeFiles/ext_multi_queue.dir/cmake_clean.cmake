@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_queue.dir/ext_multi_queue.cc.o"
+  "CMakeFiles/ext_multi_queue.dir/ext_multi_queue.cc.o.d"
+  "ext_multi_queue"
+  "ext_multi_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_potential.dir/fig03_potential.cc.o"
+  "CMakeFiles/fig03_potential.dir/fig03_potential.cc.o.d"
+  "fig03_potential"
+  "fig03_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_workloads.dir/fig06_workloads.cc.o"
+  "CMakeFiles/fig06_workloads.dir/fig06_workloads.cc.o.d"
+  "fig06_workloads"
+  "fig06_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

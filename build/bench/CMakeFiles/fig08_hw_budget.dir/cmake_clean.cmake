@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_hw_budget.dir/fig08_hw_budget.cc.o"
+  "CMakeFiles/fig08_hw_budget.dir/fig08_hw_budget.cc.o.d"
+  "fig08_hw_budget"
+  "fig08_hw_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_hw_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sources.dir/fig10_sources.cc.o"
+  "CMakeFiles/fig10_sources.dir/fig10_sources.cc.o.d"
+  "fig10_sources"
+  "fig10_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_icache.dir/fig11a_icache.cc.o"
+  "CMakeFiles/fig11a_icache.dir/fig11a_icache.cc.o.d"
+  "fig11a_icache"
+  "fig11a_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_dcache.dir/fig11b_dcache.cc.o"
+  "CMakeFiles/fig11b_dcache.dir/fig11b_dcache.cc.o.d"
+  "fig11b_dcache"
+  "fig11b_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browsing_session.dir/browsing_session.cpp.o"
+  "CMakeFiles/browsing_session.dir/browsing_session.cpp.o.d"
+  "browsing_session"
+  "browsing_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browsing_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

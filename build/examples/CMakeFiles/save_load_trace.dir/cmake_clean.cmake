@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_load_trace.dir/save_load_trace.cpp.o"
+  "CMakeFiles/save_load_trace.dir/save_load_trace.cpp.o.d"
+  "save_load_trace"
+  "save_load_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_load_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

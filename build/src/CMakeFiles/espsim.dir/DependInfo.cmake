@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/loop_predictor.cc" "src/CMakeFiles/espsim.dir/branch/loop_predictor.cc.o" "gcc" "src/CMakeFiles/espsim.dir/branch/loop_predictor.cc.o.d"
+  "/root/repo/src/branch/pentium_m.cc" "src/CMakeFiles/espsim.dir/branch/pentium_m.cc.o" "gcc" "src/CMakeFiles/espsim.dir/branch/pentium_m.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/espsim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/espsim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/cachelet.cc" "src/CMakeFiles/espsim.dir/cache/cachelet.cc.o" "gcc" "src/CMakeFiles/espsim.dir/cache/cachelet.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/espsim.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/espsim.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/espsim.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/espsim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/espsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/espsim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/table.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/espsim.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/espsim.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/runahead.cc" "src/CMakeFiles/espsim.dir/cpu/runahead.cc.o" "gcc" "src/CMakeFiles/espsim.dir/cpu/runahead.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/espsim.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/espsim.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/esp/config.cc" "src/CMakeFiles/espsim.dir/esp/config.cc.o" "gcc" "src/CMakeFiles/espsim.dir/esp/config.cc.o.d"
+  "/root/repo/src/esp/controller.cc" "src/CMakeFiles/espsim.dir/esp/controller.cc.o" "gcc" "src/CMakeFiles/espsim.dir/esp/controller.cc.o.d"
+  "/root/repo/src/esp/event_queue.cc" "src/CMakeFiles/espsim.dir/esp/event_queue.cc.o" "gcc" "src/CMakeFiles/espsim.dir/esp/event_queue.cc.o.d"
+  "/root/repo/src/esp/lists.cc" "src/CMakeFiles/espsim.dir/esp/lists.cc.o" "gcc" "src/CMakeFiles/espsim.dir/esp/lists.cc.o.d"
+  "/root/repo/src/prefetch/inflight.cc" "src/CMakeFiles/espsim.dir/prefetch/inflight.cc.o" "gcc" "src/CMakeFiles/espsim.dir/prefetch/inflight.cc.o.d"
+  "/root/repo/src/prefetch/next_line.cc" "src/CMakeFiles/espsim.dir/prefetch/next_line.cc.o" "gcc" "src/CMakeFiles/espsim.dir/prefetch/next_line.cc.o.d"
+  "/root/repo/src/prefetch/stride.cc" "src/CMakeFiles/espsim.dir/prefetch/stride.cc.o" "gcc" "src/CMakeFiles/espsim.dir/prefetch/stride.cc.o.d"
+  "/root/repo/src/sim/sim_config.cc" "src/CMakeFiles/espsim.dir/sim/sim_config.cc.o" "gcc" "src/CMakeFiles/espsim.dir/sim/sim_config.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/espsim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/espsim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats_report.cc" "src/CMakeFiles/espsim.dir/sim/stats_report.cc.o" "gcc" "src/CMakeFiles/espsim.dir/sim/stats_report.cc.o.d"
+  "/root/repo/src/trace/event_trace.cc" "src/CMakeFiles/espsim.dir/trace/event_trace.cc.o" "gcc" "src/CMakeFiles/espsim.dir/trace/event_trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/espsim.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/espsim.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/espsim.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/espsim.dir/trace/workload.cc.o.d"
+  "/root/repo/src/workload/app_profile.cc" "src/CMakeFiles/espsim.dir/workload/app_profile.cc.o" "gcc" "src/CMakeFiles/espsim.dir/workload/app_profile.cc.o.d"
+  "/root/repo/src/workload/builder.cc" "src/CMakeFiles/espsim.dir/workload/builder.cc.o" "gcc" "src/CMakeFiles/espsim.dir/workload/builder.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/espsim.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/espsim.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/lazy.cc" "src/CMakeFiles/espsim.dir/workload/lazy.cc.o" "gcc" "src/CMakeFiles/espsim.dir/workload/lazy.cc.o.d"
+  "/root/repo/src/workload/multi_queue.cc" "src/CMakeFiles/espsim.dir/workload/multi_queue.cc.o" "gcc" "src/CMakeFiles/espsim.dir/workload/multi_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/espsim_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/espsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/espsim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/espsim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/espsim_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_esp.cc" "tests/CMakeFiles/espsim_tests.dir/test_esp.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_esp.cc.o.d"
+  "/root/repo/tests/test_esp_details.cc" "tests/CMakeFiles/espsim_tests.dir/test_esp_details.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_esp_details.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/espsim_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/espsim_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_lazy.cc" "tests/CMakeFiles/espsim_tests.dir/test_lazy.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_lazy.cc.o.d"
+  "/root/repo/tests/test_lists.cc" "tests/CMakeFiles/espsim_tests.dir/test_lists.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_lists.cc.o.d"
+  "/root/repo/tests/test_multi_queue.cc" "tests/CMakeFiles/espsim_tests.dir/test_multi_queue.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_multi_queue.cc.o.d"
+  "/root/repo/tests/test_prefetch.cc" "tests/CMakeFiles/espsim_tests.dir/test_prefetch.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_prefetch.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/espsim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_runahead.cc" "tests/CMakeFiles/espsim_tests.dir/test_runahead.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_runahead.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/espsim_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/espsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/espsim_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/espsim_tests.dir/test_trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/espsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

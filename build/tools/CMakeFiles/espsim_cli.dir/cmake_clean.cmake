@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espsim_cli.dir/espsim_cli.cc.o"
+  "CMakeFiles/espsim_cli.dir/espsim_cli.cc.o.d"
+  "espsim"
+  "espsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
