@@ -4,13 +4,19 @@
  * config sweep over the suite and print one aligned table per figure,
  * with apps as rows and configs as columns — the same rows/series the
  * paper plots.
+ *
+ * Every figure binary accepts `--jobs N` (and honours the ESPSIM_JOBS
+ * environment variable) to pick the sweep's degree of parallelism;
+ * the default is hardware_concurrency and `--jobs 1` is the old
+ * strictly serial behaviour. Tables are byte-identical either way.
  */
 
 #ifndef ESPSIM_BENCH_BENCH_UTIL_HH
 #define ESPSIM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
-#include <functional>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,15 +26,42 @@
 namespace espsim::benchutil
 {
 
-/** Metric extracted from one SimResult (given also the app's row). */
-using Metric = std::function<double(const SuiteRow &, std::size_t cfg)>;
+/**
+ * Degree of parallelism requested on a figure binary's command line:
+ * the value of `--jobs N` if present, else 0 (auto — SuiteRunner
+ * resolves it to ESPSIM_JOBS or hardware_concurrency).
+ */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") != 0)
+            continue;
+        const long v = std::strtol(argv[i + 1], nullptr, 10);
+        return v >= 1 ? static_cast<unsigned>(v) : 1;
+    }
+    return 0;
+}
+
+/** SuiteRunner over the paper suite, parallelism from the CLI. */
+inline SuiteRunner
+makeSuiteRunner(int argc, char **argv)
+{
+    SuiteRunner runner;
+    runner.setJobs(jobsFromArgs(argc, argv));
+    return runner;
+}
 
 /**
  * Print a figure table: one row per app plus an aggregate row.
  * @p cfg_from skips reference configs that aren't displayed columns.
  * @p hmean aggregates harmonically when true, arithmetically otherwise.
+ * @p metric is called as metric(row, cfg) -> double; it is a template
+ * parameter (not std::function) so large sweeps render without a heap
+ * allocation per cell.
  */
-inline void
+template <typename Metric>
+void
 printFigure(const std::string &title,
             const std::vector<SuiteRow> &rows,
             const std::vector<SimConfig> &configs, std::size_t cfg_from,
@@ -37,21 +70,27 @@ printFigure(const std::string &title,
 {
     TextTable table(title);
     std::vector<std::string> header{"app"};
+    header.reserve(1 + configs.size() - cfg_from);
     for (std::size_t c = cfg_from; c < configs.size(); ++c)
         header.push_back(configs[c].name);
     table.header(header);
 
+    std::vector<std::string> cells;
+    cells.reserve(1 + configs.size() - cfg_from);
     for (const SuiteRow &row : rows) {
-        std::vector<std::string> cells{row.app};
+        cells.clear();
+        cells.push_back(row.app);
         for (std::size_t c = cfg_from; c < configs.size(); ++c)
             cells.push_back(TextTable::num(metric(row, c), precision));
         table.row(cells);
     }
 
     std::vector<std::string> agg{aggregate_label};
+    agg.reserve(1 + configs.size() - cfg_from);
+    std::vector<double> values;
+    values.reserve(rows.size());
     for (std::size_t c = cfg_from; c < configs.size(); ++c) {
-        std::vector<double> values;
-        values.reserve(rows.size());
+        values.clear();
         for (const SuiteRow &row : rows)
             values.push_back(metric(row, c));
         const double m =
@@ -86,18 +125,23 @@ printImprovementFigure(const std::string &title,
 {
     TextTable table(title);
     std::vector<std::string> header{"app"};
+    header.reserve(1 + configs.size() - cfg_from);
     for (std::size_t c = cfg_from; c < configs.size(); ++c)
         header.push_back(configs[c].name);
     table.header(header);
 
+    std::vector<std::string> cells;
+    cells.reserve(1 + configs.size() - cfg_from);
     for (const SuiteRow &row : rows) {
-        std::vector<std::string> cells{row.app};
+        cells.clear();
+        cells.push_back(row.app);
         for (std::size_t c = cfg_from; c < configs.size(); ++c)
             cells.push_back(
                 TextTable::num(improvementOverRef(row, c, ref), 1));
         table.row(cells);
     }
     std::vector<std::string> agg{"HMean"};
+    agg.reserve(1 + configs.size() - cfg_from);
     for (std::size_t c = cfg_from; c < configs.size(); ++c)
         agg.push_back(TextTable::num(hmeanImprovementPct(rows, c, ref), 1));
     table.row(agg);

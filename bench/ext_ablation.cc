@@ -28,7 +28,7 @@ variant(const char *name, void (*tweak)(EspConfig &))
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::nextLineStride(), // reference (hidden)
@@ -62,7 +62,7 @@ main()
                 [](EspConfig &c) { c.maxPreExecPerEvent /= 3; }),
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     benchutil::printImprovementFigure(

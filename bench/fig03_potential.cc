@@ -14,7 +14,7 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::nextLineStride(), // reference (index 0)
@@ -24,7 +24,7 @@ main()
         SimConfig::perfect(true, true, true),
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     benchutil::printImprovementFigure(

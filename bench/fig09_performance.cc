@@ -15,7 +15,7 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::baseline(), // reference (hidden)
@@ -27,7 +27,7 @@ main()
         SimConfig::espFull(true),
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     benchutil::printImprovementFigure(

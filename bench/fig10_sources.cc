@@ -12,7 +12,7 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::baseline(), // reference (hidden)
@@ -23,7 +23,7 @@ main()
         SimConfig::espAblation(true, true, true),    // ESP-I,B,D + NL
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     benchutil::printImprovementFigure(

@@ -14,7 +14,7 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::baseline(),
@@ -24,7 +24,7 @@ main()
         SimConfig::espInstrOnly(true, true), // ideal
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     benchutil::printFigure(

@@ -15,7 +15,7 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::baseline(),
@@ -27,7 +27,7 @@ main()
         SimConfig::espDataOnly(true, true), // ideal
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     benchutil::printFigure(

@@ -17,7 +17,7 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::nextLine(), // base machine without ESP
@@ -27,7 +27,7 @@ main()
         SimConfig::espBranchPolicy(BranchPolicy::SeparatePirPlusBList),
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     benchutil::printFigure(

@@ -18,14 +18,14 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<SimConfig> configs{
         SimConfig::nextLine(),    // reference: NL
         SimConfig::espFull(true), // ESP + NL
     };
 
-    const SuiteRunner runner;
+    const SuiteRunner runner = benchutil::makeSuiteRunner(argc, argv);
     const auto rows = runner.run(configs);
 
     TextTable table("Figure 14: Energy relative to NL");

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel sweep engine scaling study: run the Figure 9 design-point
+ * sweep (7 apps x 7 configs = 49 independent simulations) serially and
+ * at increasing thread counts, report wall time and speedup per point,
+ * and verify that every parallel run's results are bit-identical to
+ * the serial run — the determinism guarantee the figure tables rely
+ * on.
+ *
+ *   sweep_scaling [--jobs N]   N caps the largest thread count tried
+ *                              (default hardware_concurrency).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/job_pool.hh"
+
+using namespace espsim;
+
+namespace
+{
+
+double
+secondsFor(const SuiteRunner &runner,
+           const std::vector<SimConfig> &configs,
+           std::vector<SuiteRow> &rows_out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    rows_out = runner.run(configs);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool
+identicalResults(const std::vector<SuiteRow> &a,
+                 const std::vector<SuiteRow> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        if (a[r].app != b[r].app ||
+            a[r].results.size() != b[r].results.size())
+            return false;
+        for (std::size_t c = 0; c < a[r].results.size(); ++c) {
+            const SimResult &x = a[r].results[c];
+            const SimResult &y = b[r].results[c];
+            if (x.cycles != y.cycles || x.ipc != y.ipc ||
+                x.l1iMpki != y.l1iMpki ||
+                x.mispredictRate != y.mispredictRate)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<SimConfig> configs{
+        SimConfig::baseline(),
+        SimConfig::nextLine(),
+        SimConfig::nextLineStride(),
+        SimConfig::runaheadExec(false),
+        SimConfig::runaheadExec(true),
+        SimConfig::espFull(false),
+        SimConfig::espFull(true),
+    };
+
+    unsigned max_jobs = benchutil::jobsFromArgs(argc, argv);
+    if (max_jobs == 0)
+        max_jobs = JobPool::defaultJobs();
+
+    std::printf("sweep: %zu apps x %zu configs = %zu points, up to %u "
+                "jobs\n\n",
+                AppProfile::webSuite().size(), configs.size(),
+                AppProfile::webSuite().size() * configs.size(),
+                max_jobs);
+
+    SuiteRunner runner;
+    runner.setJobs(1);
+    std::vector<SuiteRow> serial_rows;
+    const double serial_s = secondsFor(runner, configs, serial_rows);
+
+    TextTable table("Parallel sweep scaling (Figure 9 config set)");
+    table.header({"jobs", "seconds", "speedup", "identical"});
+    table.row({"1", TextTable::num(serial_s, 2), "1.00", "yes"});
+
+    std::vector<unsigned> job_counts;
+    for (unsigned jobs = 2; jobs < max_jobs; jobs *= 2)
+        job_counts.push_back(jobs);
+    if (max_jobs >= 2)
+        job_counts.push_back(max_jobs);
+
+    bool all_identical = true;
+    for (unsigned jobs : job_counts) {
+        runner.setJobs(jobs);
+        std::vector<SuiteRow> rows;
+        const double s = secondsFor(runner, configs, rows);
+        const bool same = identicalResults(serial_rows, rows);
+        all_identical = all_identical && same;
+        table.row({std::to_string(jobs), TextTable::num(s, 2),
+                   TextTable::num(serial_s / s, 2),
+                   same ? "yes" : "NO"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    if (!all_identical) {
+        std::fprintf(stderr,
+                     "FAIL: parallel results differ from serial\n");
+        return 1;
+    }
+    std::printf("\nall thread counts produced bit-identical results\n");
+    return 0;
+}

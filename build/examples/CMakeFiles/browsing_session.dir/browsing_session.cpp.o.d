@@ -123,40 +123,32 @@ examples/CMakeFiles/browsing_session.dir/browsing_session.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/stats_report.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/simulator.hh /root/repo/src/common/histogram.hh \
- /usr/include/c++/12/cstddef /root/repo/src/common/stats.hh \
+ /root/repo/src/common/histogram.hh /usr/include/c++/12/cstddef \
+ /root/repo/src/sim/simulator.hh /root/repo/src/common/stats.hh \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/cpu/ooo_core.hh \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/cpu/ooo_core.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/branch/pentium_m.hh \
  /root/repo/src/branch/loop_predictor.hh /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/types.hh /root/repo/src/branch/pir.hh \
  /root/repo/src/trace/micro_op.hh /root/repo/src/cache/hierarchy.hh \
  /root/repo/src/cache/cache.hh /root/repo/src/prefetch/inflight.hh \
- /root/repo/src/cpu/hooks.hh /root/repo/src/prefetch/next_line.hh \
- /root/repo/src/prefetch/stride.hh /root/repo/src/trace/workload.hh \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/cpu/hooks.hh \
+ /root/repo/src/prefetch/next_line.hh /root/repo/src/prefetch/stride.hh \
+ /root/repo/src/trace/workload.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/trace/event_trace.hh /usr/include/c++/12/limits \
  /root/repo/src/energy/energy_model.hh /root/repo/src/sim/sim_config.hh \
  /root/repo/src/cpu/runahead.hh /root/repo/src/esp/config.hh \
- /root/repo/src/workload/app_profile.hh
+ /usr/include/c++/12/array /root/repo/src/workload/app_profile.hh

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cache/cachelet.cc" "src/CMakeFiles/espsim.dir/cache/cachelet.cc.o" "gcc" "src/CMakeFiles/espsim.dir/cache/cachelet.cc.o.d"
   "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/espsim.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/espsim.dir/cache/hierarchy.cc.o.d"
   "/root/repo/src/common/histogram.cc" "src/CMakeFiles/espsim.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/job_pool.cc" "src/CMakeFiles/espsim.dir/common/job_pool.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/job_pool.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/espsim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/logging.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/CMakeFiles/espsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/stats.cc.o.d"
   "/root/repo/src/common/table.cc" "src/CMakeFiles/espsim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/espsim.dir/common/table.cc.o.d"

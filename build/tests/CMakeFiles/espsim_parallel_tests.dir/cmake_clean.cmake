@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espsim_parallel_tests.dir/test_parallel_sweep.cc.o"
+  "CMakeFiles/espsim_parallel_tests.dir/test_parallel_sweep.cc.o.d"
+  "espsim_parallel_tests"
+  "espsim_parallel_tests.pdb"
+  "espsim_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espsim_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

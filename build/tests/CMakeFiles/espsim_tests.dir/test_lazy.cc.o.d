@@ -305,5 +305,14 @@ tests/CMakeFiles/espsim_tests.dir/test_lazy.cc.o: \
  /root/repo/src/trace/workload.hh /root/repo/src/trace/event_trace.hh \
  /root/repo/src/energy/energy_model.hh /root/repo/src/sim/sim_config.hh \
  /root/repo/src/cpu/runahead.hh /root/repo/src/esp/config.hh \
- /root/repo/src/workload/lazy.hh /root/repo/src/workload/generator.hh \
+ /root/repo/src/workload/lazy.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/workload/generator.hh \
  /root/repo/src/workload/app_profile.hh

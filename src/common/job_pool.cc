@@ -1,0 +1,98 @@
+#include "common/job_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+JobPool::JobPool(unsigned threads)
+    : threads_(threads == 0 ? defaultJobs() : threads)
+{
+    if (threads_ <= 1)
+        return; // inline mode: no workers at all
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    if (workers_.empty())
+        return;
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+JobPool::submit(std::function<void()> job)
+{
+    if (workers_.empty()) {
+        job(); // jobs=1: execute in submission order, old serial path
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void
+JobPool::wait()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+void
+JobPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(
+                lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++inflight_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inflight_;
+            if (queue_.empty() && inflight_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+unsigned
+JobPool::defaultJobs()
+{
+    if (const char *env = std::getenv("ESPSIM_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(std::min(v, 1024ul));
+        warn("ignoring malformed ESPSIM_JOBS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace espsim

@@ -1,11 +1,33 @@
 #include "sim/stats_report.hh"
 
-#include "common/histogram.hh"
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/job_pool.hh"
 #include "common/logging.hh"
 #include "workload/generator.hh"
 
 namespace espsim
 {
+
+namespace
+{
+
+/**
+ * Per-app shared state for one sweep: the workload is generated once
+ * (by whichever job gets there first), shared read-only across that
+ * app's config jobs, and released when the last of them completes.
+ */
+struct AppSlot
+{
+    std::once_flag once;
+    std::shared_ptr<const Workload> workload;
+    std::atomic<std::size_t> remaining{0};
+};
+
+} // namespace
 
 SuiteRunner::SuiteRunner(std::vector<AppProfile> apps)
     : apps_(std::move(apps))
@@ -18,20 +40,60 @@ std::vector<SuiteRow>
 SuiteRunner::run(const std::vector<SimConfig> &configs,
                  bool announce_progress) const
 {
-    std::vector<SuiteRow> rows;
-    rows.reserve(apps_.size());
-    for (const AppProfile &app : apps_) {
-        if (announce_progress)
-            inform("simulating %s ...", app.name.c_str());
-        SyntheticGenerator gen(app);
-        const auto workload = gen.generate();
-        SuiteRow row;
-        row.app = app.name;
-        row.results.reserve(configs.size());
-        for (const SimConfig &config : configs)
-            row.results.push_back(Simulator(config).run(*workload));
-        rows.push_back(std::move(row));
+    const std::size_t n_apps = apps_.size();
+    const std::size_t n_cfgs = configs.size();
+    const std::size_t points = n_apps * n_cfgs;
+
+    std::vector<SuiteRow> rows(n_apps);
+    std::vector<AppSlot> slots(n_apps);
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        rows[a].app = apps_[a].name;
+        rows[a].results.resize(n_cfgs);
+        slots[a].remaining.store(n_cfgs, std::memory_order_relaxed);
     }
+    if (points == 0)
+        return rows;
+
+    // One job per (app, config) point; never more threads than points.
+    const unsigned want = jobs_ == 0 ? JobPool::defaultJobs() : jobs_;
+    const auto n_jobs = static_cast<unsigned>(
+        std::min<std::size_t>(want, points));
+
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    JobPool pool(n_jobs);
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        for (std::size_t c = 0; c < n_cfgs; ++c) {
+            pool.submit([&, a, c] {
+                AppSlot &slot = slots[a];
+                std::call_once(slot.once, [&] {
+                    slot.workload =
+                        SyntheticGenerator(apps_[a]).generate();
+                });
+                std::shared_ptr<const Workload> workload =
+                    slot.workload;
+                rows[a].results[c] =
+                    Simulator(configs[c]).run(*workload);
+                workload.reset();
+                // Last point of this app: free its workload now so a
+                // sweep never holds more live workloads than it needs.
+                if (slot.remaining.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    slot.workload.reset();
+                if (announce_progress) {
+                    const std::size_t k =
+                        done.fetch_add(1, std::memory_order_relaxed) +
+                        1;
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    inform("%zu/%zu points done (%s on %s)", k, points,
+                           configs[c].name.c_str(),
+                           apps_[a].name.c_str());
+                }
+            });
+        }
+    }
+    pool.wait();
     return rows;
 }
 
@@ -44,28 +106,6 @@ hmeanImprovementPct(const std::vector<SuiteRow> &rows, std::size_t cfg,
     for (const SuiteRow &row : rows)
         speedups.push_back(row.results[cfg].speedupOver(row.results[ref]));
     return (harmonicMean(speedups) - 1.0) * 100.0;
-}
-
-double
-hmeanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
-            const std::function<double(const SimResult &)> &get)
-{
-    std::vector<double> values;
-    values.reserve(rows.size());
-    for (const SuiteRow &row : rows)
-        values.push_back(get(row.results[cfg]));
-    return harmonicMean(values);
-}
-
-double
-meanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
-           const std::function<double(const SimResult &)> &get)
-{
-    std::vector<double> values;
-    values.reserve(rows.size());
-    for (const SuiteRow &row : rows)
-        values.push_back(get(row.results[cfg]));
-    return arithmeticMean(values);
 }
 
 } // namespace espsim

@@ -4,15 +4,21 @@
  * set of design points over the seven-app suite (generating each app's
  * workload once), and aggregate results the way the paper does
  * (harmonic mean across applications).
+ *
+ * The sweep is embarrassingly parallel — every simulation is a pure
+ * function of (SimConfig, Workload) — so SuiteRunner fans one job per
+ * (app, config) point out over a JobPool. Results are written into
+ * pre-allocated index slots, so figure tables are byte-identical at
+ * any thread count.
  */
 
 #ifndef ESPSIM_SIM_STATS_REPORT_HH
 #define ESPSIM_SIM_STATS_REPORT_HH
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/histogram.hh"
 #include "sim/simulator.hh"
 #include "workload/app_profile.hh"
 
@@ -37,15 +43,27 @@ class SuiteRunner
     const std::vector<AppProfile> &apps() const { return apps_; }
 
     /**
-     * Simulate every config on every app. Workloads are generated
-     * once per app and shared across configs (and freed before moving
-     * to the next app, keeping memory bounded).
+     * Degree of parallelism for run(): one job per (app, config)
+     * point. 0 (the default) resolves to JobPool::defaultJobs()
+     * (ESPSIM_JOBS env override, else hardware_concurrency); 1 is the
+     * old strictly serial behaviour.
+     */
+    void setJobs(unsigned jobs) { jobs_ = jobs; }
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Simulate every config on every app. Each app's workload is
+     * generated once and shared read-only across that app's config
+     * jobs (and released as soon as the app's last point completes,
+     * keeping memory bounded). Results land in the same index order
+     * regardless of thread count.
      */
     std::vector<SuiteRow> run(const std::vector<SimConfig> &configs,
                               bool announce_progress = false) const;
 
   private:
     std::vector<AppProfile> apps_;
+    unsigned jobs_ = 0; //!< 0 = JobPool::defaultJobs()
 };
 
 /**
@@ -57,13 +75,35 @@ class SuiteRunner
 double hmeanImprovementPct(const std::vector<SuiteRow> &rows,
                            std::size_t cfg, std::size_t ref);
 
-/** Harmonic mean across apps of an arbitrary per-result metric. */
-double hmeanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
-                   const std::function<double(const SimResult &)> &get);
+/**
+ * Harmonic mean across apps of an arbitrary per-result metric.
+ * Templated on the getter so per-cell std::function allocation never
+ * happens in table-rendering loops.
+ */
+template <typename Get>
+double
+hmeanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
+            Get &&get)
+{
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const SuiteRow &row : rows)
+        values.push_back(get(row.results[cfg]));
+    return harmonicMean(values);
+}
 
 /** Arithmetic mean across apps of a per-result metric. */
-double meanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
-                  const std::function<double(const SimResult &)> &get);
+template <typename Get>
+double
+meanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
+           Get &&get)
+{
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const SuiteRow &row : rows)
+        values.push_back(get(row.results[cfg]));
+    return arithmeticMean(values);
+}
 
 } // namespace espsim
 

@@ -22,26 +22,56 @@ LazyWorkload::event(std::size_t idx) const
         panic("lazy workload '%s': event %zu out of range %zu",
               name_.c_str(), idx, numEvents_);
 
+    std::lock_guard<std::mutex> lock(mutex_);
+
     auto it = cache_.find(idx);
     if (it == cache_.end()) {
         it = cache_
-                 .emplace(idx, std::make_unique<EventTrace>(
+                 .emplace(idx, std::make_shared<const EventTrace>(
                                    generator_.generateEvent(idx)))
                  .first;
         ++generations_;
     }
+    std::shared_ptr<const EventTrace> trace = it->second;
+
+    // Pin the trace in the calling thread's recent window so the
+    // returned reference outlives cache eviction by other readers.
+    auto &pins = pins_[std::this_thread::get_id()];
+    pins.push_back(trace);
+    if (pins.size() > window_)
+        pins.pop_front();
 
     // Evict traces far behind the requested index; references to
     // events in [idx - 1, idx + window) stay valid, which covers the
-    // simulator's lookahead contract (idx + 3).
-    while (cache_.size() > window_) {
-        auto oldest = cache_.begin();
-        if (oldest->first + window_ > idx + 1)
-            break; // everything resident is still in the live window
-        cache_.erase(oldest);
+    // simulator's lookahead contract (idx + 3). Entries pinned by a
+    // (possibly lagging) reader are skipped, so the cache is bounded
+    // by one window per reader thread plus the caller's live window.
+    const std::size_t budget = window_ * pins_.size();
+    for (auto victim = cache_.begin();
+         cache_.size() > budget && victim != cache_.end();) {
+        if (victim->first + window_ > idx + 1)
+            break; // inside the caller's live window (and beyond)
+        if (victim->second.use_count() > 1)
+            ++victim; // another reader still holds it pinned
+        else
+            victim = cache_.erase(victim);
     }
 
-    return *it->second;
+    return *trace;
+}
+
+std::size_t
+LazyWorkload::residentTraces() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+std::uint64_t
+LazyWorkload::generations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return generations_;
 }
 
 std::vector<AddrRange>

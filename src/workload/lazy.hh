@@ -8,14 +8,24 @@
  * suffices — this is how multi-hundred-million-instruction runs stay
  * within memory. Honors the Workload contract that a reference stays
  * valid until event idx+3 is requested.
+ *
+ * Safe to share across concurrently replaying simulators (the parallel
+ * sweep engine runs several configs against one workload at once): the
+ * cache is guarded by a mutex, and each reader thread pins the traces
+ * it was handed recently, so eviction driven by a thread far ahead can
+ * never invalidate a reference a lagging thread still holds. The
+ * reference-validity contract is per calling thread.
  */
 
 #ifndef ESPSIM_WORKLOAD_LAZY_HH
 #define ESPSIM_WORKLOAD_LAZY_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "trace/workload.hh"
 #include "workload/generator.hh"
@@ -36,9 +46,9 @@ class LazyWorkload : public Workload
     std::vector<AddrRange> warmSet() const override;
 
     /** Traces currently materialised (tests / memory accounting). */
-    std::size_t residentTraces() const { return cache_.size(); }
+    std::size_t residentTraces() const;
     /** Total events generated over the lifetime (cache misses). */
-    std::uint64_t generations() const { return generations_; }
+    std::uint64_t generations() const;
 
   private:
     SyntheticGenerator generator_;
@@ -46,7 +56,17 @@ class LazyWorkload : public Workload
     std::size_t numEvents_;
     std::size_t window_;
 
-    mutable std::map<std::size_t, std::unique_ptr<EventTrace>> cache_;
+    mutable std::mutex mutex_;
+    mutable std::map<std::size_t, std::shared_ptr<const EventTrace>>
+        cache_;
+    /**
+     * The last window_ traces handed to each reader thread. A pin
+     * keeps its trace alive (shared_ptr) even after cache eviction,
+     * so returned references honour the validity contract per thread.
+     */
+    mutable std::map<std::thread::id,
+                     std::deque<std::shared_ptr<const EventTrace>>>
+        pins_;
     mutable std::uint64_t generations_ = 0;
 };
 

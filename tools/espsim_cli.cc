@@ -4,7 +4,7 @@
  *
  *   espsim run   --app amazon --config ESP+NL [--stats]
  *   espsim run   --trace file.espw --config NL+S
- *   espsim suite --configs base,NL,ESP+NL
+ *   espsim suite --configs base,NL,ESP+NL [--jobs N]
  *   espsim gen   --app gmaps --out gmaps.espw [--events N]
  *   espsim list  (apps and configs)
  *
@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -55,7 +56,7 @@ usage()
         "usage:\n"
         "  espsim run   --app <name>|--trace <file> --config <name> "
         "[--stats]\n"
-        "  espsim suite [--configs a,b,c]\n"
+        "  espsim suite [--configs a,b,c] [--jobs N]\n"
         "  espsim gen   --app <name> --out <file> [--events N]\n"
         "  espsim list");
     return 1;
@@ -164,7 +165,11 @@ cmdSuite(const std::map<std::string, std::string> &flags)
         configs.push_back(*cfg);
     }
 
-    const SuiteRunner runner;
+    SuiteRunner runner;
+    if (auto it = flags.find("jobs"); it != flags.end()) {
+        const long jobs = std::strtol(it->second.c_str(), nullptr, 10);
+        runner.setJobs(jobs >= 1 ? static_cast<unsigned>(jobs) : 1);
+    }
     const auto rows = runner.run(configs, true);
     TextTable table("suite results (cycles; % improvement over first "
                     "config)");
