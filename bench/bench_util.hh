@@ -9,11 +9,19 @@
  * environment variable) to pick the sweep's degree of parallelism;
  * the default is hardware_concurrency and `--jobs 1` is the old
  * strictly serial behaviour. Tables are byte-identical either way.
+ *
+ * Every figure binary also accepts `--version` (print the build
+ * manifest and exit), `--json [path]` and `--csv [path]` (export the
+ * full per-(app, config) stat dump as a versioned artifact; the
+ * default path is BENCH_<fig>.json / .csv). The ASCII tables on
+ * stdout are untouched; run chatter (manifest, progress, wall time)
+ * goes to stderr. See docs/OBSERVABILITY.md.
  */
 
 #ifndef ESPSIM_BENCH_BENCH_UTIL_HH
 #define ESPSIM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +29,8 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "common/version.hh"
+#include "report/artifact.hh"
 #include "sim/stats_report.hh"
 
 namespace espsim::benchutil
@@ -50,6 +60,125 @@ makeSuiteRunner(int argc, char **argv)
     SuiteRunner runner;
     runner.setJobs(jobsFromArgs(argc, argv));
     return runner;
+}
+
+/** Artifact-export options a figure binary parsed from its argv. */
+struct ReportOptions
+{
+    std::string source;   //!< producing binary, e.g. "fig09_performance"
+    std::string jsonPath; //!< empty = no JSON artifact
+    std::string csvPath;  //!< empty = no CSV artifact
+    unsigned jobs = 0;    //!< requested parallelism (0 = auto)
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * Handle the flags every figure binary shares. Exits after printing
+ * the build manifest when `--version` is given; otherwise parses
+ * `--json [path]` / `--csv [path]` (default `BENCH_<tag>.json|csv`
+ * when no path follows the flag) and prints the run manifest — tool
+ * version, build type, requested jobs — to stderr. Volatile facts
+ * like jobs and wall time stay on stderr so the artifacts themselves
+ * are byte-identical at any `--jobs` count.
+ */
+inline ReportOptions
+reportSetup(int argc, char **argv, const std::string &source,
+            const std::string &tag)
+{
+    ReportOptions opts;
+    opts.source = source;
+    opts.jobs = jobsFromArgs(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("%s %s (%s build)\n", source.c_str(),
+                        versionString(), buildTypeString());
+            std::exit(0);
+        }
+        const bool has_path =
+            i + 1 < argc && argv[i + 1][0] != '-';
+        if (std::strcmp(argv[i], "--json") == 0)
+            opts.jsonPath = has_path ? argv[++i]
+                                     : "BENCH_" + tag + ".json";
+        else if (std::strcmp(argv[i], "--csv") == 0)
+            opts.csvPath = has_path ? argv[++i]
+                                    : "BENCH_" + tag + ".csv";
+    }
+    if (opts.jobs == 0)
+        std::fprintf(stderr, "# %s %s (%s build), jobs=auto\n",
+                     source.c_str(), versionString(),
+                     buildTypeString());
+    else
+        std::fprintf(stderr, "# %s %s (%s build), jobs=%u\n",
+                     source.c_str(), versionString(),
+                     buildTypeString(), opts.jobs);
+    return opts;
+}
+
+/**
+ * Write the artifacts requested on the command line (if any) and
+ * print the sweep's wall time to stderr. Exits non-zero on I/O
+ * failure so scripted sweeps cannot silently lose their artifacts.
+ */
+inline void
+reportFinish(const ReportOptions &opts,
+             const std::vector<SimConfig> &configs,
+             const std::vector<SuiteRow> &rows)
+{
+    ArtifactManifest manifest;
+    manifest.source = opts.source;
+    if (!opts.jsonPath.empty()) {
+        if (!writeTextFile(opts.jsonPath, renderSuiteArtifactJson(
+                                              manifest, configs, rows))) {
+            std::fprintf(stderr, "# error: cannot write %s\n",
+                         opts.jsonPath.c_str());
+            std::exit(1);
+        }
+        std::fprintf(stderr, "# wrote %s\n", opts.jsonPath.c_str());
+    }
+    if (!opts.csvPath.empty()) {
+        if (!writeTextFile(opts.csvPath, renderSuiteArtifactCsv(
+                                             manifest, configs, rows))) {
+            std::fprintf(stderr, "# error: cannot write %s\n",
+                         opts.csvPath.c_str());
+            std::exit(1);
+        }
+        std::fprintf(stderr, "# wrote %s\n", opts.csvPath.c_str());
+    }
+    const auto wall = std::chrono::duration_cast<std::chrono::
+        milliseconds>(std::chrono::steady_clock::now() - opts.start);
+    std::fprintf(stderr, "# %s done in %.2f s\n", opts.source.c_str(),
+                 static_cast<double>(wall.count()) / 1000.0);
+}
+
+/**
+ * Artifact writer for figure binaries that print a descriptive table
+ * rather than running a suite sweep (Figures 6-8): exports the table
+ * itself with the same manifest header.
+ */
+inline void
+reportFinishTable(const ReportOptions &opts, const TextTable &table)
+{
+    ArtifactManifest manifest;
+    manifest.source = opts.source;
+    if (!opts.jsonPath.empty()) {
+        if (!writeTextFile(opts.jsonPath,
+                           renderTableArtifactJson(manifest, table))) {
+            std::fprintf(stderr, "# error: cannot write %s\n",
+                         opts.jsonPath.c_str());
+            std::exit(1);
+        }
+        std::fprintf(stderr, "# wrote %s\n", opts.jsonPath.c_str());
+    }
+    if (!opts.csvPath.empty()) {
+        if (!writeTextFile(opts.csvPath,
+                           renderTableArtifactCsv(manifest, table))) {
+            std::fprintf(stderr, "# error: cannot write %s\n",
+                         opts.csvPath.c_str());
+            std::exit(1);
+        }
+        std::fprintf(stderr, "# wrote %s\n", opts.csvPath.c_str());
+    }
 }
 
 /**

@@ -30,6 +30,9 @@ variant(const char *name, void (*tweak)(EspConfig &))
 int
 main(int argc, char **argv)
 {
+    const auto report = benchutil::reportSetup(argc, argv,
+                                               "ext_ablation",
+                                               "ext_ablation");
     const std::vector<SimConfig> configs{
         SimConfig::nextLineStride(), // reference (hidden)
         variant("ESP (paper)", [](EspConfig &) {}),
@@ -75,5 +78,6 @@ main(int argc, char **argv)
               "pollution), no-reentry much worse, lead robust across "
               "60-1000, halved lists cost performance, doubled lists "
               "gain a little (the paper sized for the knee).");
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "sim/simulator.hh"
 #include "workload/generator.hh"
@@ -45,8 +46,11 @@ makeSystem(double barrier_rate)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto report = benchutil::reportSetup(argc, argv,
+                                               "ext_multi_queue",
+                                               "ext_multi_queue");
     TextTable table("Extension (paper 4.5): multi-queue looper — ESP "
                     "gain vs dispatch-prediction quality");
     table.header({"barrier rate", "dispatch accuracy %",
@@ -71,5 +75,6 @@ main()
               "ESP's gain degrades gracefully with barrier rate and the "
               "incorrect-prediction bit keeps wrong hints from being "
               "consumed.");
+    benchutil::reportFinishTable(report, table);
     return 0;
 }

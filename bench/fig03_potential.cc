@@ -16,6 +16,8 @@ using namespace espsim;
 int
 main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig03_potential", "fig03");
     const std::vector<SimConfig> configs{
         SimConfig::nextLineStride(), // reference (index 0)
         SimConfig::perfect(true, false, false),
@@ -31,5 +33,6 @@ main(int argc, char **argv)
         "Figure 3: Performance potential in web applications "
         "(% improvement over baseline NL+S)",
         rows, configs, 1);
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "workload/app_profile.hh"
 #include "workload/generator.hh"
@@ -16,8 +17,10 @@
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig06_workloads", "fig06");
     TextTable table("Figure 6: Benchmark web applications");
     table.header({"app", "events", "inst(K)", "inst/event",
                   "independent%", "paper events", "paper inst(M)"});
@@ -46,5 +49,6 @@ main()
     for (const AppProfile &profile : AppProfile::webSuite())
         std::printf("  %-9s %s\n", profile.name.c_str(),
                     profile.description.c_str());
+    benchutil::reportFinishTable(report, table);
     return 0;
 }

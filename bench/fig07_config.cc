@@ -7,14 +7,17 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "sim/sim_config.hh"
 
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig07_config", "fig07");
     const SimConfig c = SimConfig::nextLineStride();
 
     TextTable table("Figure 7: Simulator configuration");
@@ -57,5 +60,6 @@ main()
                "stride (256 entries)"});
 
     std::fputs(table.render().c_str(), stdout);
+    benchutil::reportFinishTable(report, table);
     return 0;
 }

@@ -6,14 +6,17 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "esp/config.hh"
 
 using namespace espsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig08_hw_budget", "fig08");
     const EspConfig c;
 
     TextTable table("Figure 8: ESP hardware configuration (bytes)");
@@ -44,5 +47,6 @@ main()
 
     std::printf("\nTotal ESP additions: %.1f KB (paper: 13.8 KB)\n",
                 (c.hardwareBytes(0) + c.hardwareBytes(1)) / 1024.0);
+    benchutil::reportFinishTable(report, table);
     return 0;
 }

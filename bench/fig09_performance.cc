@@ -17,6 +17,9 @@ using namespace espsim;
 int
 main(int argc, char **argv)
 {
+    const auto report = benchutil::reportSetup(argc, argv,
+                                               "fig09_performance",
+                                               "fig09");
     const std::vector<SimConfig> configs{
         SimConfig::baseline(), // reference (hidden)
         SimConfig::nextLine(),
@@ -50,5 +53,6 @@ main(int argc, char **argv)
                 100.0 * meanMetric(rows, 6, [](const SimResult &r) {
                     return r.extraInstrFraction;
                 }));
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

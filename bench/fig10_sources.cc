@@ -14,6 +14,8 @@ using namespace espsim;
 int
 main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig10_sources", "fig10");
     const std::vector<SimConfig> configs{
         SimConfig::baseline(), // reference (hidden)
         SimConfig::espNaive(false),
@@ -30,5 +32,6 @@ main(int argc, char **argv)
         "Figure 10: Sources of performance in ESP "
         "(% improvement over no-prefetch baseline)",
         rows, configs, 1);
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

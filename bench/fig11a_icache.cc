@@ -16,6 +16,8 @@ using namespace espsim;
 int
 main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig11a_icache", "fig11a");
     const std::vector<SimConfig> configs{
         SimConfig::baseline(),
         SimConfig::nextLineInstrOnly(),
@@ -33,5 +35,6 @@ main(int argc, char **argv)
             return row.results[c].l1iMpki;
         },
         2, false, "Mean");
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

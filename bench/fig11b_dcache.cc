@@ -17,6 +17,8 @@ using namespace espsim;
 int
 main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig11b_dcache", "fig11b");
     const std::vector<SimConfig> configs{
         SimConfig::baseline(),
         SimConfig::nextLineDataOnly(),
@@ -36,5 +38,6 @@ main(int argc, char **argv)
             return 100.0 * row.results[c].l1dMissRate;
         },
         2, false, "Mean");
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

@@ -19,6 +19,8 @@ using namespace espsim;
 int
 main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig12_branch", "fig12");
     const std::vector<SimConfig> configs{
         SimConfig::nextLine(), // base machine without ESP
         SimConfig::espBranchPolicy(BranchPolicy::NoExtraHardware),
@@ -36,5 +38,6 @@ main(int argc, char **argv)
             return 100.0 * row.results[c].mispredictRate;
         },
         2, false, "Mean");
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

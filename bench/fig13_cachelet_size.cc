@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "bench_util.hh"
 #include "common/histogram.hh"
 #include "common/table.hh"
 #include "sim/simulator.hh"
@@ -33,8 +34,11 @@ constexpr unsigned studyDepth = 8;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto report = benchutil::reportSetup(argc, argv,
+                                               "fig13_cachelet_size",
+                                               "fig13");
     const SimConfig config = SimConfig::espWorkingSetStudy(studyDepth);
 
     // Aggregate samples across the whole suite, like the paper.
@@ -91,5 +95,6 @@ main()
     std::fputs(table.render().c_str(), stdout);
     std::puts("\npaper conclusion check: ESP-1 p95 ~ 5.5 KB, ESP-2 p95 "
               "~ 0.5 KB, negligible activity beyond ESP-2.");
+    benchutil::reportFinishTable(report, table);
     return 0;
 }

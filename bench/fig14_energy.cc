@@ -20,6 +20,8 @@ using namespace espsim;
 int
 main(int argc, char **argv)
 {
+    const auto report =
+        benchutil::reportSetup(argc, argv, "fig14_energy", "fig14");
     const std::vector<SimConfig> configs{
         SimConfig::nextLine(),    // reference: NL
         SimConfig::espFull(true), // ESP + NL
@@ -61,5 +63,6 @@ main(int argc, char **argv)
     std::printf("headline: extra instructions  = %.1f%%  (paper: "
                 "21.2%%)\n",
                 100.0 * sum_extra / n);
+    benchutil::reportFinish(report, configs, rows);
     return 0;
 }

@@ -71,15 +71,20 @@ main(int argc, char **argv)
         SimConfig::espFull(true),
     };
 
-    unsigned max_jobs = benchutil::jobsFromArgs(argc, argv);
+    const auto report = benchutil::reportSetup(argc, argv,
+                                               "sweep_scaling",
+                                               "sweep_scaling");
+    unsigned max_jobs = report.jobs;
     if (max_jobs == 0)
         max_jobs = JobPool::defaultJobs();
 
-    std::printf("sweep: %zu apps x %zu configs = %zu points, up to %u "
-                "jobs\n\n",
-                AppProfile::webSuite().size(), configs.size(),
-                AppProfile::webSuite().size() * configs.size(),
-                max_jobs);
+    // Progress banner, not a result: keep stdout reserved for tables.
+    std::fprintf(stderr,
+                 "sweep: %zu apps x %zu configs = %zu points, up to %u "
+                 "jobs\n",
+                 AppProfile::webSuite().size(), configs.size(),
+                 AppProfile::webSuite().size() * configs.size(),
+                 max_jobs);
 
     SuiteRunner runner;
     runner.setJobs(1);
@@ -115,5 +120,6 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("\nall thread counts produced bit-identical results\n");
+    benchutil::reportFinishTable(report, table);
     return 0;
 }

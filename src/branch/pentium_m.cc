@@ -302,4 +302,15 @@ PentiumMPredictor::copyTablesFrom(const PentiumMPredictor &other)
     loop_ = other.loop_;
 }
 
+void
+PentiumMPredictor::registerStats(StatRegistry &reg,
+                                 const std::string &prefix) const
+{
+    reg.registerScalar(prefix + "branches", &stat_branches_);
+    reg.registerScalar(prefix + "mispredicts", &stat_mispredicts_);
+    reg.registerScalar(prefix + "btb_misses", &stat_btb_miss_);
+    reg.registerDerived(prefix + "mispredict_rate",
+                        [this] { return mispredictRate(); });
+}
+
 } // namespace espsim

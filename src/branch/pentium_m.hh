@@ -19,6 +19,7 @@
 #include "branch/loop_predictor.hh"
 #include "branch/pir.hh"
 #include "common/stats.hh"
+#include "report/stat_registry.hh"
 #include "trace/micro_op.hh"
 
 namespace espsim
@@ -107,6 +108,11 @@ class PentiumMPredictor
     void copyTablesFrom(const PentiumMPredictor &other);
 
     // --- statistics (conditional + indirect + return predictions) ---
+
+    /** Register predictor counters by name (canonical surface). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
     std::uint64_t branches() const { return stat_branches_; }
     std::uint64_t mispredicts() const { return stat_mispredicts_; }
     /** Mispredicts whose direction was right but the BTB had no/old

@@ -137,19 +137,26 @@ MemoryHierarchy::prefetchData(Addr addr, Cycle now)
 }
 
 void
+MemoryHierarchy::registerStats(StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.registerScalar(prefix + "l1i.accesses", &stat_l1i_acc_);
+    reg.registerScalar(prefix + "l1i.misses", &stat_l1i_miss_);
+    reg.registerScalar(prefix + "l1d.accesses", &stat_l1d_acc_);
+    reg.registerScalar(prefix + "l1d.misses", &stat_l1d_miss_);
+    reg.registerScalar(prefix + "l2.misses", &stat_l2_miss_);
+    reg.registerScalar(prefix + "prefetches.issued", &stat_pf_issued_);
+    reg.registerScalar(prefix + "prefetches.late", &stat_pf_late_);
+}
+
+void
 MemoryHierarchy::report(StatGroup &stats, const std::string &prefix) const
 {
-    stats.set(prefix + "l1i.accesses",
-              static_cast<double>(stat_l1i_acc_));
-    stats.set(prefix + "l1i.misses", static_cast<double>(stat_l1i_miss_));
-    stats.set(prefix + "l1d.accesses",
-              static_cast<double>(stat_l1d_acc_));
-    stats.set(prefix + "l1d.misses", static_cast<double>(stat_l1d_miss_));
-    stats.set(prefix + "l2.misses", static_cast<double>(stat_l2_miss_));
-    stats.set(prefix + "prefetches.issued",
-              static_cast<double>(stat_pf_issued_));
-    stats.set(prefix + "prefetches.late",
-              static_cast<double>(stat_pf_late_));
+    StatRegistry reg;
+    registerStats(reg, prefix);
+    const StatGroup snap = reg.snapshot();
+    for (const auto &[name, value] : snap.values())
+        stats.set(name, value);
 }
 
 } // namespace espsim

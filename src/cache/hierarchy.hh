@@ -20,6 +20,7 @@
 #include "cache/cache.hh"
 #include "common/stats.hh"
 #include "prefetch/inflight.hh"
+#include "report/stat_registry.hh"
 
 namespace espsim
 {
@@ -105,7 +106,11 @@ class MemoryHierarchy
     std::uint64_t prefetchesIssued() const { return stat_pf_issued_; }
     std::uint64_t latePrefetchHits() const { return stat_pf_late_; }
 
-    /** Export all counters into @p stats under @p prefix. */
+    /** Register every hierarchy counter by name (canonical surface). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /** Snapshot all counters into @p stats (view over the registry). */
     void report(StatGroup &stats, const std::string &prefix) const;
 
   private:

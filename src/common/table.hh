@@ -31,6 +31,17 @@ class TextTable
     /** Render the table (title, rule, header, rows). */
     std::string render() const;
 
+    // Structured access for machine-readable exports (report/artifact).
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &headerCells() const
+    {
+        return header_;
+    }
+    const std::vector<std::vector<std::string>> &dataRows() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

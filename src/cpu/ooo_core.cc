@@ -14,6 +14,36 @@ OoOCore::OoOCore(const CoreConfig &config, MemoryHierarchy &mem,
 }
 
 void
+OoOCore::registerStats(StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.registerScalar(prefix + "cycles", &stats_.cycles);
+    reg.registerScalar(prefix + "instructions", &stats_.instructions);
+    reg.registerScalar(prefix + "events", &stats_.events);
+    reg.registerScalar(prefix + "branches", &stats_.branches);
+    reg.registerScalar(prefix + "mispredicts", &stats_.mispredicts);
+    reg.registerScalar(prefix + "btb_misses", &stats_.btbMisses);
+    reg.registerScalar(prefix + "loads", &stats_.loads);
+    reg.registerScalar(prefix + "stores", &stats_.stores);
+    reg.registerScalar(prefix + "llc_misses_instr",
+                       &stats_.llcMissesInstr);
+    reg.registerScalar(prefix + "llc_misses_data",
+                       &stats_.llcMissesData);
+    reg.registerScalar(prefix + "stall_cycles.icache",
+                       &stats_.icacheStallCycles);
+    reg.registerScalar(prefix + "stall_cycles.branch",
+                       &stats_.branchStallCycles);
+    reg.registerScalar(prefix + "stall_cycles.rob",
+                       &stats_.robStallCycles);
+    reg.registerScalar(prefix + "stall_cycles.lsq",
+                       &stats_.lsqStallCycles);
+    reg.registerScalar(prefix + "stall_windows",
+                       &stats_.stallWindows);
+    reg.registerDerived(prefix + "ipc",
+                        [this] { return stats_.ipc(); });
+}
+
+void
 OoOCore::advanceSlot()
 {
     if (++slotInCycle_ >= config_.width) {
@@ -34,6 +64,10 @@ OoOCore::retireForSpace(const MicroOp &next_op)
     if (retire_at > fetchCycle_) {
         const Cycle idle = retire_at - fetchCycle_;
         stats_.robStallCycles += idle;
+        if (timeline_) {
+            timeline_->recordStall(TimelineStall::DataMiss, fetchCycle_,
+                                   idle);
+        }
         (void)next_op;
         fetchCycle_ = retire_at;
         slotInCycle_ = 0;
@@ -57,6 +91,10 @@ OoOCore::processOp(const MicroOp &op)
         if (fetch.latency > hidden) {
             const Cycle bubble = fetch.latency - hidden;
             stats_.icacheStallCycles += bubble;
+            if (timeline_) {
+                timeline_->recordStall(TimelineStall::InstrMiss,
+                                       fetchCycle_, bubble);
+            }
             if (fetch.llcMiss())
                 ++stats_.llcMissesInstr;
             if (bubble >= config_.stallReportThreshold) {
@@ -109,7 +147,12 @@ OoOCore::processOp(const MicroOp &op)
             const LsqEntry oldest = lsq_.front();
             lsq_.pop_front();
             if (oldest.complete > fetchCycle_) {
-                stats_.lsqStallCycles += oldest.complete - fetchCycle_;
+                const Cycle wait = oldest.complete - fetchCycle_;
+                stats_.lsqStallCycles += wait;
+                if (timeline_) {
+                    timeline_->recordStall(TimelineStall::LsqFull,
+                                           fetchCycle_, wait);
+                }
                 fetchCycle_ = oldest.complete;
                 slotInCycle_ = 0;
             }
@@ -175,11 +218,21 @@ OoOCore::processOp(const MicroOp &op)
             if (res == BranchResult::Mispredict) {
                 ++stats_.mispredicts;
                 stats_.branchStallCycles += config_.mispredictPenalty;
+                if (timeline_) {
+                    timeline_->recordStall(TimelineStall::Mispredict,
+                                           dispatch,
+                                           config_.mispredictPenalty);
+                }
                 fetchCycle_ = dispatch + config_.mispredictPenalty;
                 slotInCycle_ = 0;
             } else if (res == BranchResult::BtbMiss) {
                 ++stats_.btbMisses;
                 stats_.branchStallCycles += config_.btbMissPenalty;
+                if (timeline_) {
+                    timeline_->recordStall(TimelineStall::BtbMiss,
+                                           fetchCycle_,
+                                           config_.btbMissPenalty);
+                }
                 fetchCycle_ += config_.btbMissPenalty;
                 slotInCycle_ = 0;
             }
@@ -209,8 +262,13 @@ OoOCore::drainRob()
     }
     // The drain just accounts remaining completion time; outstanding
     // misses were already reported to the engine at detection time.
-    if (miss_pending && last > fetchCycle_)
+    if (miss_pending && last > fetchCycle_) {
         stats_.robStallCycles += last - fetchCycle_;
+        if (timeline_) {
+            timeline_->recordStall(TimelineStall::DataMiss, fetchCycle_,
+                                   last - fetchCycle_);
+        }
+    }
     (void)miss_dest;
     rob_.clear();
     lsq_.clear();
@@ -236,10 +294,15 @@ void
 OoOCore::run(const Workload &workload)
 {
     for (std::size_t idx = 0; idx < workload.numEvents(); ++idx) {
+        if (timeline_)
+            timeline_->eventQueued(idx, fetchCycle_);
         // The hook fires before the looper-gap instructions so the ESP
         // list prefetcher gets its ~70-instruction head start (§3.6).
         hooks_.onEventStart(idx, fetchCycle_);
         executeLooperOverhead();
+        if (timeline_)
+            timeline_->eventDispatched(idx, fetchCycle_);
+        const InstCount instr_at_dispatch = stats_.instructions;
         const EventTrace &event = workload.event(idx);
         curFetchBlock_ = ~Addr{0};
         for (std::size_t i = 0; i < event.ops.size(); ++i) {
@@ -250,6 +313,11 @@ OoOCore::run(const Workload &workload)
         drainRob();
         ++stats_.events;
         hooks_.onEventEnd(idx, fetchCycle_);
+        if (timeline_) {
+            timeline_->eventRetired(idx, fetchCycle_,
+                                    stats_.instructions -
+                                        instr_at_dispatch);
+        }
     }
     stats_.cycles = fetchCycle_;
 }

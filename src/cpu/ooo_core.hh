@@ -29,6 +29,8 @@
 #include "cpu/hooks.hh"
 #include "prefetch/next_line.hh"
 #include "prefetch/stride.hh"
+#include "report/stat_registry.hh"
+#include "report/timeline.hh"
 #include "trace/workload.hh"
 
 namespace espsim
@@ -107,6 +109,13 @@ class OoOCore
 
     const CoreStats &stats() const { return stats_; }
 
+    /** Register every core counter (and derived IPC) by name. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /** Attach an opt-in per-event timeline sink (nullptr detaches). */
+    void setTimeline(EventTimeline *timeline) { timeline_ = timeline; }
+
     /** Current-fetch-cycle accessor for hooks/tests. */
     Cycle now() const { return fetchCycle_; }
 
@@ -129,6 +138,7 @@ class OoOCore
     PrefetcherConfig prefetchCfg_;
 
     CoreStats stats_;
+    EventTimeline *timeline_ = nullptr;
 
     // Pipeline state.
     Cycle fetchCycle_ = 0;

@@ -142,17 +142,26 @@ RunaheadEngine::onStall(const StallContext &ctx)
 }
 
 void
+RunaheadEngine::registerStats(StatRegistry &reg,
+                              const std::string &prefix) const
+{
+    reg.registerScalar(prefix + "entries", &stats_.entries);
+    reg.registerScalar(prefix + "instructions", &stats_.instructions);
+    reg.registerScalar(prefix + "stopped_on_instr_miss",
+                       &stats_.stoppedOnInstrMiss);
+    reg.registerScalar(prefix + "stopped_on_wrong_path",
+                       &stats_.stoppedOnWrongPath);
+    reg.registerScalar(prefix + "invalid_ops", &stats_.invalidOps);
+}
+
+void
 RunaheadEngine::report(StatGroup &out, const std::string &prefix) const
 {
-    out.set(prefix + "entries", static_cast<double>(stats_.entries));
-    out.set(prefix + "instructions",
-            static_cast<double>(stats_.instructions));
-    out.set(prefix + "stopped_on_instr_miss",
-            static_cast<double>(stats_.stoppedOnInstrMiss));
-    out.set(prefix + "stopped_on_wrong_path",
-            static_cast<double>(stats_.stoppedOnWrongPath));
-    out.set(prefix + "invalid_ops",
-            static_cast<double>(stats_.invalidOps));
+    StatRegistry reg;
+    registerStats(reg, prefix);
+    const StatGroup snap = reg.snapshot();
+    for (const auto &[name, value] : snap.values())
+        out.set(name, value);
 }
 
 } // namespace espsim

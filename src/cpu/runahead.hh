@@ -22,6 +22,7 @@
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
 #include "cpu/hooks.hh"
+#include "report/stat_registry.hh"
 #include "trace/workload.hh"
 
 namespace espsim
@@ -61,6 +62,12 @@ class RunaheadEngine : public CoreHooks
     void onStall(const StallContext &ctx) override;
 
     const RunaheadStats &stats() const { return stats_; }
+
+    /** Register every runahead counter by name (canonical surface). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /** Snapshot all counters into @p out (view over the registry). */
     void report(StatGroup &out, const std::string &prefix) const;
 
   private:

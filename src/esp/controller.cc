@@ -319,9 +319,19 @@ EspController::onStall(const StallContext &ctx)
         mem_.setStatCounting(false);
 
     unsigned d = 0;
+    std::uint64_t consumed_q = 0;
     while (budget_q > 0 && d < config_.maxDepth) {
         bool deeper = false;
         const std::uint64_t spent = runSpec(d, budget_q, deeper);
+        if (timeline_ && spent > 0) {
+            // One pre-execution window: depth d+1 (ESP-1, ESP-2),
+            // positioned inside the stall shadow after any budget the
+            // shallower contexts already consumed.
+            timeline_->recordEspWindow(
+                d + 1, slots_[d].eventIdx, ctx.now + consumed_q / width_,
+                std::max<Cycle>(1, spent / width_));
+        }
+        consumed_q += spent;
         budget_q -= std::min(spent, budget_q);
         if (!deeper)
             break;
@@ -520,39 +530,68 @@ EspController::beforeOp(std::size_t op_idx, const MicroOp &op, Cycle now)
 }
 
 void
+EspController::registerStats(StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.registerScalar(prefix + "jumps", &stats_.jumps);
+    reg.registerScalar(prefix + "deep_jumps", &stats_.deepJumps);
+    reg.registerScalar(prefix + "pre_executed_instrs",
+                       &stats_.preExecutedInstrs);
+    reg.registerScalar(prefix + "pre_executed_instrs_deep",
+                       &stats_.preExecutedInstrsDeep);
+    reg.registerScalar(prefix + "events_pre_executed",
+                       &stats_.eventsPreExecuted);
+    reg.registerScalar(prefix + "events_pre_executed_to_end",
+                       &stats_.eventsPreExecutedToEnd);
+    reg.registerScalar(prefix + "list_prefetches_instr",
+                       &stats_.listPrefetchesInstr);
+    reg.registerScalar(prefix + "list_prefetches_data",
+                       &stats_.listPrefetchesData);
+    reg.registerScalar(prefix + "branches_pre_trained",
+                       &stats_.branchesPreTrained);
+    reg.registerScalar(prefix + "ilist_overflows",
+                       &stats_.iListOverflows);
+    reg.registerScalar(prefix + "dlist_overflows",
+                       &stats_.dListOverflows);
+    reg.registerScalar(prefix + "blist_overflows",
+                       &stats_.bListOverflows);
+    reg.registerScalar(prefix + "diverged_events_pre_executed",
+                       &stats_.divergedEventsPreExecuted);
+    reg.registerScalar(prefix + "mispredicted_dispatches",
+                       &stats_.mispredictedDispatches);
+    reg.registerDerived(prefix + "spec_match_fraction", [this] {
+        return stats_.eventsPreExecuted == 0
+            ? 0.0
+            : stats_.specMatchSum /
+                static_cast<double>(stats_.eventsPreExecuted);
+    });
+    if (config_.trackWorkingSets) {
+        for (std::size_t d = 0; d < instrWorkingSets_.size(); ++d) {
+            const std::string depth = std::to_string(d + 1);
+            reg.registerSamples(
+                prefix + "working_set.instr.esp" + depth,
+                &instrWorkingSets_[d]);
+            reg.registerSamples(
+                prefix + "working_set.data.esp" + depth,
+                &dataWorkingSets_[d]);
+        }
+    }
+}
+
+void
 EspController::report(StatGroup &out, const std::string &prefix) const
 {
-    out.set(prefix + "jumps", static_cast<double>(stats_.jumps));
-    out.set(prefix + "deep_jumps",
-            static_cast<double>(stats_.deepJumps));
-    out.set(prefix + "pre_executed_instrs",
-            static_cast<double>(stats_.preExecutedInstrs));
-    out.set(prefix + "pre_executed_instrs_deep",
-            static_cast<double>(stats_.preExecutedInstrsDeep));
-    out.set(prefix + "events_pre_executed",
-            static_cast<double>(stats_.eventsPreExecuted));
-    out.set(prefix + "events_pre_executed_to_end",
-            static_cast<double>(stats_.eventsPreExecutedToEnd));
-    out.set(prefix + "list_prefetches_instr",
-            static_cast<double>(stats_.listPrefetchesInstr));
-    out.set(prefix + "list_prefetches_data",
-            static_cast<double>(stats_.listPrefetchesData));
-    out.set(prefix + "branches_pre_trained",
-            static_cast<double>(stats_.branchesPreTrained));
-    out.set(prefix + "ilist_overflows",
-            static_cast<double>(stats_.iListOverflows));
-    out.set(prefix + "dlist_overflows",
-            static_cast<double>(stats_.dListOverflows));
-    out.set(prefix + "blist_overflows",
-            static_cast<double>(stats_.bListOverflows));
-    out.set(prefix + "diverged_events_pre_executed",
-            static_cast<double>(stats_.divergedEventsPreExecuted));
-    out.set(prefix + "mispredicted_dispatches",
-            static_cast<double>(stats_.mispredictedDispatches));
-    if (stats_.eventsPreExecuted > 0) {
-        out.set(prefix + "spec_match_fraction",
-                stats_.specMatchSum /
-                    static_cast<double>(stats_.eventsPreExecuted));
+    StatRegistry reg;
+    registerStats(reg, prefix);
+    const StatGroup snap = reg.snapshot();
+    for (const auto &[name, value] : snap.values()) {
+        // Preserve the historical contract: the match fraction only
+        // appears once at least one event was pre-executed.
+        if (stats_.eventsPreExecuted == 0 &&
+            name == prefix + "spec_match_fraction") {
+            continue;
+        }
+        out.set(name, value);
     }
 }
 

@@ -31,6 +31,8 @@
 #include "esp/config.hh"
 #include "esp/event_queue.hh"
 #include "esp/lists.hh"
+#include "report/stat_registry.hh"
+#include "report/timeline.hh"
 #include "trace/workload.hh"
 
 namespace espsim
@@ -91,7 +93,16 @@ class EspController : public CoreHooks
         return dataWorkingSets_;
     }
 
+    /** Register every ESP counter by name (canonical surface). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /** Snapshot all counters into @p out (view over the registry). */
     void report(StatGroup &out, const std::string &prefix) const;
+
+    /** Attach a timeline sink; pre-execution windows are recorded
+     *  into it as ESP-depth slices (nullptr detaches). */
+    void setTimeline(EventTimeline *timeline) { timeline_ = timeline; }
 
   private:
     /** State of one speculative execution context (ESP-i). */
@@ -141,6 +152,7 @@ class EspController : public CoreHooks
     std::size_t curEventIdx_ = 0;
 
     EspStats stats_;
+    EventTimeline *timeline_ = nullptr;
     std::vector<SampleStat> instrWorkingSets_;
     std::vector<SampleStat> dataWorkingSets_;
 

@@ -1,0 +1,286 @@
+#include "report/json_reader.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    if (!v)
+        panic("JsonValue: missing member '%s'", name.c_str());
+    return *v;
+}
+
+namespace
+{
+
+/** Cursor over the input with error reporting. */
+struct Parser
+{
+    std::string_view text = {};
+    std::size_t pos = 0;
+    std::string error = {};
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty()) {
+            char where[32];
+            std::snprintf(where, sizeof(where), " at offset %zu", pos);
+            error = msg + where;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool parseValue(JsonValue &out);
+    bool parseString(std::string &out);
+    bool parseNumber(JsonValue &out);
+};
+
+/** Append Unicode code point @p cp as UTF-8. */
+void
+appendUtf8(std::string &out, unsigned cp)
+{
+    if (cp < 0x80) {
+        out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        out += static_cast<char>(0xc0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+        out += static_cast<char>(0xe0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+}
+
+bool
+Parser::parseString(std::string &out)
+{
+    if (!consume('"'))
+        return fail("expected string");
+    while (pos < text.size()) {
+        const char c = text[pos++];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (pos >= text.size())
+            break;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos + 4 > text.size())
+                return fail("truncated \\u escape");
+            unsigned cp = 0;
+            for (int k = 0; k < 4; ++k) {
+                const char h = text[pos++];
+                cp <<= 4;
+                if (h >= '0' && h <= '9')
+                    cp |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    cp |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    cp |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return fail("bad \\u escape digit");
+            }
+            // Surrogate pairs are not needed by espsim artifacts;
+            // encode the raw code point (BMP only).
+            appendUtf8(out, cp);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+    }
+    return fail("unterminated string");
+}
+
+bool
+Parser::parseNumber(JsonValue &out)
+{
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-')
+        ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+        ++pos;
+    }
+    double v = 0.0;
+    const auto res =
+        std::from_chars(text.data() + start, text.data() + pos, v);
+    if (res.ec != std::errc() || res.ptr != text.data() + pos) {
+        pos = start;
+        return fail("bad number");
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.number = v;
+    return true;
+}
+
+bool
+Parser::parseValue(JsonValue &out)
+{
+    skipWs();
+    if (pos >= text.size())
+        return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+        ++pos;
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            std::string name;
+            if (!parseString(name))
+                return false;
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.object.emplace(std::move(name), std::move(member));
+            if (consume(',')) {
+                skipWs();
+                continue;
+            }
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+    if (c == '[') {
+        ++pos;
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue element;
+            if (!parseValue(element))
+                return false;
+            out.array.push_back(std::move(element));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+    if (c == '"') {
+        out.kind = JsonValue::Kind::String;
+        return parseString(out.string);
+    }
+    if (c == 't') {
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+    }
+    if (c == 'f') {
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+    }
+    if (c == 'n') {
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+    }
+    return parseNumber(out);
+}
+
+} // namespace
+
+std::unique_ptr<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    Parser p{text};
+    auto root = std::make_unique<JsonValue>();
+    if (!p.parseValue(*root)) {
+        if (error)
+            *error = p.error;
+        return nullptr;
+    }
+    p.skipWs();
+    if (p.pos != p.text.size()) {
+        if (error)
+            *error = "trailing garbage after document";
+        return nullptr;
+    }
+    return root;
+}
+
+} // namespace espsim

@@ -1,0 +1,198 @@
+#include "report/json_writer.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                // Non-ASCII bytes pass through: UTF-8 in, UTF-8 out.
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // -0.0 would round-trip but serializes confusingly; normal stat
+    // values are never negative zero, so fold it into 0.
+    if (v == 0.0)
+        return "0";
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (scopes_.empty())
+        return;
+    if (scopes_.back() == Scope::Object && !pendingKey_)
+        panic("JsonWriter: object value without a key");
+    if (scopes_.back() == Scope::Array || !pendingKey_) {
+        if (!first_.back())
+            out_ += ',';
+    }
+    first_.back() = false;
+    pendingKey_ = false;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (scopes_.empty() || scopes_.back() != Scope::Object)
+        panic("JsonWriter: key() outside an object");
+    if (pendingKey_)
+        panic("JsonWriter: two keys in a row");
+    if (!first_.back())
+        out_ += ',';
+    first_.back() = false;
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    scopes_.push_back(Scope::Object);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (scopes_.empty() || scopes_.back() != Scope::Object || pendingKey_)
+        panic("JsonWriter: unbalanced endObject()");
+    out_ += '}';
+    scopes_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    scopes_.push_back(Scope::Array);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (scopes_.empty() || scopes_.back() != Scope::Array)
+        panic("JsonWriter: unbalanced endArray()");
+    out_ += ']';
+    scopes_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    out_ += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+} // namespace espsim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dependency-free streaming JSON writer for observability artifacts.
+ *
+ * Design goals, in order:
+ *  1. **Determinism** — the same values always serialize to the same
+ *     bytes, on any platform and at any `--jobs` count. Numbers use
+ *     std::to_chars shortest-round-trip formatting; no locale is ever
+ *     consulted.
+ *  2. **Validity** — output is always strict RFC 8259 JSON. Strings
+ *     are escaped (quote, backslash, control characters); non-ASCII
+ *     bytes are passed through untouched, so UTF-8 input stays UTF-8.
+ *     NaN and infinities, which JSON cannot represent, serialize as
+ *     `null` (the documented espsim artifact policy).
+ *  3. **No dependencies** — artifacts must be emittable from any
+ *     binary that links espsim, including the slimmest bench tool.
+ *
+ * Usage:
+ *     JsonWriter w;
+ *     w.beginObject();
+ *     w.key("cycles").value(std::uint64_t{978703});
+ *     w.key("apps").beginArray().value("amazon").endArray();
+ *     w.endObject();
+ *     std::string text = w.str();
+ */
+
+#ifndef ESPSIM_REPORT_JSON_WRITER_HH
+#define ESPSIM_REPORT_JSON_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace espsim
+{
+
+/** Escape @p s for embedding inside a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Deterministic JSON representation of @p v: shortest string that
+ * round-trips to the same double ("0.1", "3", "1e+300"). NaN and
+ * infinities return "null".
+ */
+std::string jsonNumber(double v);
+
+/** Streaming writer; tracks nesting and inserts commas itself. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value call supplies its value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v) { return value(std::uint64_t{v}); }
+    JsonWriter &value(int v) { return value(std::int64_t{v}); }
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** The document so far. Valid JSON once all scopes are closed. */
+    const std::string &str() const { return out_; }
+
+    /** True when every beginObject/beginArray has been closed. */
+    bool complete() const { return scopes_.empty(); }
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    std::string out_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> first_;   //!< no comma needed yet in this scope
+    bool pendingKey_ = false;
+
+    void beforeValue();
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_REPORT_JSON_WRITER_HH

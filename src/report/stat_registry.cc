@@ -1,0 +1,63 @@
+#include "report/stat_registry.hh"
+
+#include "common/logging.hh"
+
+namespace espsim
+{
+
+void
+StatRegistry::insert(const std::string &name, Getter getter)
+{
+    if (name.empty())
+        panic("StatRegistry: empty stat name");
+    if (!entries_.emplace(name, std::move(getter)).second)
+        panic("StatRegistry: duplicate stat '%s'", name.c_str());
+}
+
+void
+StatRegistry::registerScalar(const std::string &name,
+                             const std::uint64_t *counter)
+{
+    insert(name,
+           [counter] { return static_cast<double>(*counter); });
+}
+
+void
+StatRegistry::registerScalar(const std::string &name, const double *value)
+{
+    insert(name, [value] { return *value; });
+}
+
+void
+StatRegistry::registerDerived(const std::string &name, Getter getter)
+{
+    insert(name, std::move(getter));
+}
+
+void
+StatRegistry::registerSamples(const std::string &name, const SampleStat *s)
+{
+    insert(name + ".count", [s] {
+        return static_cast<double>(s->count());
+    });
+    insert(name + ".mean", [s] { return s->mean(); });
+    insert(name + ".max", [s] { return s->max(); });
+    insert(name + ".p95", [s] { return s->percentile(95.0); });
+}
+
+bool
+StatRegistry::contains(const std::string &name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+StatGroup
+StatRegistry::snapshot() const
+{
+    StatGroup out;
+    for (const auto &[name, getter] : entries_)
+        out.set(name, getter());
+    return out;
+}
+
+} // namespace espsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The canonical statistics surface of a simulation run.
+ *
+ * Components own their counters as plain struct fields (cheap to bump
+ * on the simulation fast path — no map lookup, no virtual call) and
+ * *register* them here by name: the registry stores a getter per stat
+ * and materialises a point-in-time StatGroup snapshot on demand. This
+ * inverts the old flow — instead of every component hand-writing a
+ * report() that copies fields into a StatGroup, the wiring happens
+ * once at construction and the name space is checked for collisions.
+ *
+ * Three kinds of stats:
+ *  - scalars backed by a component counter (uint64 or double field),
+ *  - derived values computed at snapshot time (rates, ratios),
+ *  - sample distributions (SampleStat), expanded into .count / .mean /
+ *    .max / .p95 scalars in the snapshot.
+ *
+ * Snapshots are name-ordered, so every downstream consumer (text dump,
+ * JSON artifact, CSV) is deterministic by construction.
+ */
+
+#ifndef ESPSIM_REPORT_STAT_REGISTRY_HH
+#define ESPSIM_REPORT_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+
+namespace espsim
+{
+
+/** Named-stat registry; components register, consumers snapshot. */
+class StatRegistry
+{
+  public:
+    using Getter = std::function<double()>;
+
+    /** Register a scalar backed by a live component counter. */
+    void registerScalar(const std::string &name,
+                        const std::uint64_t *counter);
+    void registerScalar(const std::string &name, const double *value);
+
+    /** Register a value computed at snapshot time. */
+    void registerDerived(const std::string &name, Getter getter);
+
+    /**
+     * Register a sample distribution; the snapshot expands it into
+     * `name.count`, `name.mean`, `name.max` and `name.p95`.
+     */
+    void registerSamples(const std::string &name, const SampleStat *s);
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Evaluate every registered stat into a flat StatGroup. */
+    StatGroup snapshot() const;
+
+  private:
+    std::map<std::string, Getter> entries_;
+
+    void insert(const std::string &name, Getter getter);
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_REPORT_STAT_REGISTRY_HH

@@ -1,0 +1,234 @@
+#include "report/timeline.hh"
+
+#include <fstream>
+
+#include "report/json_writer.hh"
+
+namespace espsim
+{
+
+const char *
+timelineStallName(TimelineStall kind)
+{
+    switch (kind) {
+      case TimelineStall::InstrMiss:
+        return "icache-miss";
+      case TimelineStall::DataMiss:
+        return "dcache-miss";
+      case TimelineStall::LsqFull:
+        return "lsq-full";
+      case TimelineStall::Mispredict:
+        return "mispredict-flush";
+      case TimelineStall::BtbMiss:
+        return "btb-miss";
+    }
+    return "unknown";
+}
+
+void
+EventTimeline::eventQueued(std::size_t event_idx, Cycle now)
+{
+    EventSpan span;
+    span.index = event_idx;
+    span.queued = now;
+    span.dispatched = now;
+    span.retired = now;
+    events_.push_back(span);
+    curEvent_ = event_idx;
+}
+
+void
+EventTimeline::eventDispatched(std::size_t event_idx, Cycle now)
+{
+    if (!events_.empty() && events_.back().index == event_idx)
+        events_.back().dispatched = now;
+}
+
+void
+EventTimeline::eventRetired(std::size_t event_idx, Cycle now,
+                            InstCount instructions)
+{
+    if (!events_.empty() && events_.back().index == event_idx) {
+        events_.back().retired = now;
+        events_.back().instructions = instructions;
+    }
+}
+
+void
+EventTimeline::recordStall(TimelineStall kind, Cycle start, Cycle dur)
+{
+    StallSpan span;
+    span.kind = kind;
+    span.eventIdx = curEvent_;
+    span.start = start;
+    span.dur = dur;
+    stalls_.push_back(span);
+    if (!events_.empty()) {
+        events_.back().stallCycles[static_cast<unsigned>(kind)] += dur;
+        ++events_.back().stallCount;
+    }
+}
+
+void
+EventTimeline::recordEspWindow(unsigned depth,
+                               std::size_t spec_event_idx, Cycle start,
+                               Cycle dur)
+{
+    EspSpan span;
+    span.depth = depth;
+    span.specEventIdx = spec_event_idx;
+    span.triggerEventIdx = curEvent_;
+    span.start = start;
+    span.dur = dur;
+    windows_.push_back(span);
+    if (!events_.empty())
+        ++events_.back().espWindows;
+}
+
+void
+EventTimeline::setRunInfo(const std::string &config_name,
+                          const std::string &workload_name)
+{
+    configName_ = config_name;
+    workloadName_ = workload_name;
+}
+
+namespace
+{
+
+/** Trace rows: one pid, three named tids. */
+constexpr int tracePid = 1;
+constexpr int tidEvents = 1;
+constexpr int tidStalls = 2;
+constexpr int tidEsp = 3;
+
+void
+metadataRecord(JsonWriter &w, const char *name, int tid,
+               const char *value)
+{
+    w.beginObject();
+    w.key("name").value(name);
+    w.key("ph").value("M");
+    w.key("pid").value(tracePid);
+    if (tid >= 0)
+        w.key("tid").value(tid);
+    w.key("args").beginObject().key("name").value(value).endObject();
+    w.endObject();
+}
+
+void
+sliceCommon(JsonWriter &w, const char *cat, Cycle ts, Cycle dur,
+            int tid)
+{
+    w.key("cat").value(cat);
+    w.key("ph").value("X");
+    w.key("ts").value(std::uint64_t{ts});
+    w.key("dur").value(std::uint64_t{dur});
+    w.key("pid").value(tracePid);
+    w.key("tid").value(tid);
+}
+
+} // namespace
+
+std::string
+EventTimeline::renderChromeTrace() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    metadataRecord(w, "process_name", -1, "espsim");
+    metadataRecord(w, "thread_name", tidEvents, "events");
+    metadataRecord(w, "thread_name", tidStalls, "stalls");
+    metadataRecord(w, "thread_name", tidEsp, "esp pre-execution");
+
+    for (const EventSpan &ev : events_) {
+        // The full event span: queue-head to retire.
+        w.beginObject();
+        w.key("name").value("event " + std::to_string(ev.index));
+        sliceCommon(w, "event", ev.queued, ev.retired - ev.queued,
+                    tidEvents);
+        w.key("args").beginObject();
+        w.key("index").value(std::uint64_t{ev.index});
+        w.key("queued_cycle").value(std::uint64_t{ev.queued});
+        w.key("dispatch_cycle").value(std::uint64_t{ev.dispatched});
+        w.key("retire_cycle").value(std::uint64_t{ev.retired});
+        w.key("instructions").value(std::uint64_t{ev.instructions});
+        w.key("stall_count").value(std::uint64_t{ev.stallCount});
+        w.key("esp_windows").value(std::uint64_t{ev.espWindows});
+        w.key("stall_cycles").beginObject();
+        for (unsigned k = 0; k < 5; ++k) {
+            w.key(timelineStallName(static_cast<TimelineStall>(k)))
+                .value(std::uint64_t{ev.stallCycles[k]});
+        }
+        w.endObject();
+        w.endObject();
+        w.endObject();
+
+        // Nested execute slice: dispatch to retire (the looper-gap
+        // prefix of the outer slice is the queue/dequeue overhead).
+        w.beginObject();
+        w.key("name").value("execute");
+        sliceCommon(w, "event", ev.dispatched,
+                    ev.retired - ev.dispatched, tidEvents);
+        w.key("args")
+            .beginObject()
+            .key("index")
+            .value(std::uint64_t{ev.index})
+            .endObject();
+        w.endObject();
+    }
+
+    for (const StallSpan &st : stalls_) {
+        w.beginObject();
+        w.key("name").value(timelineStallName(st.kind));
+        sliceCommon(w, "stall", st.start, st.dur, tidStalls);
+        w.key("args")
+            .beginObject()
+            .key("event")
+            .value(std::uint64_t{st.eventIdx})
+            .endObject();
+        w.endObject();
+    }
+
+    for (const EspSpan &sp : windows_) {
+        w.beginObject();
+        w.key("name").value("ESP-" + std::to_string(sp.depth));
+        sliceCommon(w, "esp", sp.start, sp.dur, tidEsp);
+        w.key("args").beginObject();
+        w.key("depth").value(sp.depth);
+        w.key("pre_executed_event")
+            .value(std::uint64_t{sp.specEventIdx});
+        w.key("triggering_event")
+            .value(std::uint64_t{sp.triggerEventIdx});
+        w.endObject();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.key("displayTimeUnit").value("ms");
+    w.key("otherData").beginObject();
+    w.key("tool").value("espsim");
+    w.key("timeline_format_version")
+        .value(std::uint64_t{timelineFormatVersion});
+    w.key("config").value(configName_);
+    w.key("workload").value(workloadName_);
+    w.key("cycles_per_us").value(std::uint64_t{1});
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+bool
+EventTimeline::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    const std::string text = renderChromeTrace();
+    out.write(text.data(),
+              static_cast<std::streamsize>(text.size()));
+    return static_cast<bool>(out);
+}
+
+} // namespace espsim

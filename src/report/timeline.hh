@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Opt-in per-event timeline recorder with Chrome trace_event export.
+ *
+ * When attached to a run (espsim run --timeline out.json), the core
+ * reports each event's queue/dispatch/retire cycles and every stall it
+ * hits (I-miss bubble, ROB-head data miss, LSQ full, mispredict flush,
+ * BTB miss); the ESP controller reports each pre-execution window it
+ * spends inside a stall shadow. writeChromeTrace() serializes it all
+ * in the Chrome trace_event JSON format, which loads directly in
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing — fitting,
+ * given the paper's workloads are Chromium's renderer events.
+ *
+ * Cycle-to-time mapping: 1 simulated cycle = 1 microsecond of trace
+ * time (`ts`/`dur` are microseconds in the trace_event spec), so a
+ * slice's `dur` reads directly as its cycle count.
+ *
+ * The recorder costs nothing when absent: components hold a nullable
+ * pointer and skip all bookkeeping when it is null.
+ */
+
+#ifndef ESPSIM_REPORT_TIMELINE_HH
+#define ESPSIM_REPORT_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** Trace format version written into the exported file. */
+constexpr std::uint32_t timelineFormatVersion = 1;
+
+/** Why the core sat idle (timeline view; richer than StallKind). */
+enum class TimelineStall : std::uint8_t
+{
+    InstrMiss,  //!< fetch bubble beyond the hidden L1 latency
+    DataMiss,   //!< load miss shadow (ROB-head / MLP window)
+    LsqFull,    //!< oldest memory op blocking a full LSQ
+    Mispredict, //!< branch mispredict flush
+    BtbMiss,    //!< taken branch with no/old BTB target
+};
+
+const char *timelineStallName(TimelineStall kind);
+
+/** Records one run's per-event timing; exports Chrome trace JSON. */
+class EventTimeline
+{
+  public:
+    /** Event reached the queue head (before looper overhead). */
+    void eventQueued(std::size_t event_idx, Cycle now);
+
+    /** First op of the event enters the pipeline. */
+    void eventDispatched(std::size_t event_idx, Cycle now);
+
+    /** Event fully retired. @p instructions is its op count. */
+    void eventRetired(std::size_t event_idx, Cycle now,
+                      InstCount instructions);
+
+    /** One stall of @p kind, @p dur cycles starting at @p start. */
+    void recordStall(TimelineStall kind, Cycle start, Cycle dur);
+
+    /**
+     * ESP spent @p dur cycles of a stall shadow pre-executing event
+     * @p spec_event_idx at depth @p depth (1-based: ESP-1, ESP-2).
+     */
+    void recordEspWindow(unsigned depth, std::size_t spec_event_idx,
+                         Cycle start, Cycle dur);
+
+    /** Run metadata stamped into the trace header. */
+    void setRunInfo(const std::string &config_name,
+                    const std::string &workload_name);
+
+    std::size_t numEvents() const { return events_.size(); }
+    std::size_t numStalls() const { return stalls_.size(); }
+    std::size_t numEspWindows() const { return windows_.size(); }
+
+    /** Serialize as Chrome trace_event JSON. */
+    std::string renderChromeTrace() const;
+
+    /** Write renderChromeTrace() to @p path. @return false on I/O. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    struct EventSpan
+    {
+        std::size_t index = 0;
+        Cycle queued = 0;
+        Cycle dispatched = 0;
+        Cycle retired = 0;
+        InstCount instructions = 0;
+        Cycle stallCycles[5] = {0, 0, 0, 0, 0}; //!< per TimelineStall
+        std::uint32_t stallCount = 0;
+        std::uint32_t espWindows = 0;
+    };
+
+    struct StallSpan
+    {
+        TimelineStall kind;
+        std::size_t eventIdx = 0;
+        Cycle start = 0;
+        Cycle dur = 0;
+    };
+
+    struct EspSpan
+    {
+        unsigned depth = 1;
+        std::size_t specEventIdx = 0;
+        std::size_t triggerEventIdx = 0;
+        Cycle start = 0;
+        Cycle dur = 0;
+    };
+
+    std::vector<EventSpan> events_;
+    std::vector<StallSpan> stalls_;
+    std::vector<EspSpan> windows_;
+    std::string configName_;
+    std::string workloadName_;
+    std::size_t curEvent_ = 0;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_REPORT_TIMELINE_HH

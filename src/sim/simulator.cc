@@ -4,6 +4,7 @@
 
 #include "cpu/runahead.hh"
 #include "esp/controller.hh"
+#include "report/stat_registry.hh"
 
 namespace espsim
 {
@@ -14,6 +15,12 @@ Simulator::Simulator(SimConfig config) : config_(std::move(config))
 
 SimResult
 Simulator::run(const Workload &workload) const
+{
+    return run(workload, nullptr);
+}
+
+SimResult
+Simulator::run(const Workload &workload, EventTimeline *timeline) const
 {
     MemoryHierarchy mem(config_.memory);
     PentiumMPredictor bp(config_.branch);
@@ -49,39 +56,39 @@ Simulator::run(const Workload &workload) const
     }
 
     OoOCore core(config_.core, mem, bp, config_.prefetch, *hooks);
+
+    // The canonical stats surface: every component registers its
+    // counters once; one snapshot at the end of the run feeds the
+    // text dump, the JSON/CSV artifacts, and the SimResult views.
+    StatRegistry reg;
+    core.registerStats(reg, "core.");
+    mem.registerStats(reg, "mem.");
+    bp.registerStats(reg, "bp.");
+    if (esp)
+        esp->registerStats(reg, "esp.");
+    if (runahead)
+        runahead->registerStats(reg, "runahead.");
+
+    if (timeline) {
+        timeline->setRunInfo(config_.name, workload.name());
+        core.setTimeline(timeline);
+        if (esp)
+            esp->setTimeline(timeline);
+    }
+
     core.run(workload);
 
     SimResult result;
     result.configName = config_.name;
     result.workloadName = workload.name();
     result.core = core.stats();
-    result.cycles = result.core.cycles;
-    result.ipc = result.core.ipc();
-
-    mem.report(result.stats, "mem.");
     if (esp) {
-        esp->report(result.stats, "esp.");
         result.instrWorkingSets = esp->instrWorkingSets();
         result.dataWorkingSets = esp->dataWorkingSets();
     }
-    if (runahead)
-        runahead->report(result.stats, "runahead.");
-
-    const auto &cs = result.core;
-    result.l1iMpki = cs.instructions == 0
-        ? 0.0
-        : static_cast<double>(mem.l1iMisses()) /
-            (static_cast<double>(cs.instructions) / 1000.0);
-    result.l1dMissRate = mem.l1dAccesses() == 0
-        ? 0.0
-        : static_cast<double>(mem.l1dMisses()) /
-            static_cast<double>(mem.l1dAccesses());
-    result.mispredictRate = cs.branches == 0
-        ? 0.0
-        : static_cast<double>(cs.mispredicts) /
-            static_cast<double>(cs.branches);
 
     // --- energy ------------------------------------------------------
+    const CoreStats &cs = core.stats();
     EnergyInputs ein;
     ein.cycles = cs.cycles;
     ein.instructions = cs.instructions;
@@ -100,24 +107,61 @@ Simulator::run(const Workload &workload) const
     }
     if (runahead)
         ein.speculativeInstrs = runahead->stats().instructions;
-    result.extraInstrFraction = cs.instructions == 0
+
+    EnergyModel energy(config_.energy);
+    result.energy = energy.compute(ein);
+
+    // --- derived metrics (registered, then snapshot) -----------------
+    const double l1i_mpki = cs.instructions == 0
+        ? 0.0
+        : static_cast<double>(mem.l1iMisses()) /
+            (static_cast<double>(cs.instructions) / 1000.0);
+    const double l1d_miss_rate = mem.l1dAccesses() == 0
+        ? 0.0
+        : static_cast<double>(mem.l1dMisses()) /
+            static_cast<double>(mem.l1dAccesses());
+    const double mispredict_rate = cs.branches == 0
+        ? 0.0
+        : static_cast<double>(cs.mispredicts) /
+            static_cast<double>(cs.branches);
+    const double extra_instr_fraction = cs.instructions == 0
         ? 0.0
         : static_cast<double>(ein.speculativeInstrs) /
             static_cast<double>(cs.instructions);
 
-    EnergyModel energy(config_.energy);
-    result.energy = energy.compute(ein);
-    result.stats.set("energy.static", result.energy.staticEnergy);
-    result.stats.set("energy.mispredict",
-                     result.energy.mispredictEnergy);
-    result.stats.set("energy.dynamic", result.energy.restDynamic);
-    result.stats.set("energy.total", result.energy.total());
-    result.stats.set("derived.l1i_mpki", result.l1iMpki);
-    result.stats.set("derived.l1d_miss_rate", result.l1dMissRate);
-    result.stats.set("derived.mispredict_rate", result.mispredictRate);
-    result.stats.set("derived.ipc", result.ipc);
-    result.stats.set("derived.extra_instr_fraction",
-                     result.extraInstrFraction);
+    reg.registerDerived("energy.static",
+                        [v = result.energy.staticEnergy] { return v; });
+    reg.registerDerived("energy.mispredict", [v = result.energy
+                                                      .mispredictEnergy] {
+        return v;
+    });
+    reg.registerDerived("energy.dynamic",
+                        [v = result.energy.restDynamic] { return v; });
+    reg.registerDerived("energy.total",
+                        [v = result.energy.total()] { return v; });
+    reg.registerDerived("derived.l1i_mpki",
+                        [l1i_mpki] { return l1i_mpki; });
+    reg.registerDerived("derived.l1d_miss_rate",
+                        [l1d_miss_rate] { return l1d_miss_rate; });
+    reg.registerDerived("derived.mispredict_rate",
+                        [mispredict_rate] { return mispredict_rate; });
+    reg.registerDerived("derived.ipc",
+                        [&cs] { return cs.ipc(); });
+    reg.registerDerived("derived.extra_instr_fraction",
+                        [extra_instr_fraction] {
+                            return extra_instr_fraction;
+                        });
+
+    result.stats = reg.snapshot();
+
+    // Headline fields are views over the canonical snapshot.
+    result.cycles = static_cast<Cycle>(result.stats.get("core.cycles"));
+    result.ipc = result.stats.get("derived.ipc");
+    result.l1iMpki = result.stats.get("derived.l1i_mpki");
+    result.l1dMissRate = result.stats.get("derived.l1d_miss_rate");
+    result.mispredictRate = result.stats.get("derived.mispredict_rate");
+    result.extraInstrFraction =
+        result.stats.get("derived.extra_instr_fraction");
 
     return result;
 }

@@ -14,6 +14,7 @@
 #include "common/stats.hh"
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
+#include "report/timeline.hh"
 #include "sim/sim_config.hh"
 #include "trace/workload.hh"
 
@@ -28,7 +29,13 @@ struct SimResult
 
     CoreStats core;
     EnergyBreakdown energy;
-    StatGroup stats; //!< hierarchy, engine, and derived counters
+    /**
+     * The canonical stats surface: a snapshot of every counter the
+     * run's components registered into the StatRegistry ("core.",
+     * "mem.", "bp.", "esp." or "runahead.", "energy.", "derived."
+     * groups). The headline fields below are views over this snapshot.
+     */
+    StatGroup stats;
 
     // Headline derived metrics.
     Cycle cycles = 0;
@@ -69,6 +76,15 @@ class Simulator
 
     /** Simulate the workload from a cold machine state. */
     SimResult run(const Workload &workload) const;
+
+    /**
+     * Same, recording a per-event timeline into @p timeline (may be
+     * nullptr). The recorder receives queue/dispatch/retire cycles and
+     * the stall breakdown per event, plus every ESP pre-execution
+     * window; export it with EventTimeline::writeChromeTrace().
+     */
+    SimResult run(const Workload &workload,
+                  EventTimeline *timeline) const;
 
   private:
     SimConfig config_;

@@ -36,10 +36,16 @@ LazyWorkload::event(std::size_t idx) const
 
     // Pin the trace in the calling thread's recent window so the
     // returned reference outlives cache eviction by other readers.
+    // Pins are keyed by index and dropped only once this thread has
+    // moved window_ events past them; re-requesting a lookahead event
+    // therefore never pushes an older, still-live reference out.
     auto &pins = pins_[std::this_thread::get_id()];
-    pins.push_back(trace);
-    if (pins.size() > window_)
-        pins.pop_front();
+    pins[idx] = trace;
+    for (auto pin = pins.begin(); pin != pins.end();) {
+        if (pin->first + window_ > idx + 1)
+            break;
+        pin = pins.erase(pin);
+    }
 
     // Evict traces far behind the requested index; references to
     // events in [idx - 1, idx + window) stay valid, which covers the

@@ -21,7 +21,6 @@
 #define ESPSIM_WORKLOAD_LAZY_HH
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -60,12 +59,17 @@ class LazyWorkload : public Workload
     mutable std::map<std::size_t, std::shared_ptr<const EventTrace>>
         cache_;
     /**
-     * The last window_ traces handed to each reader thread. A pin
-     * keeps its trace alive (shared_ptr) even after cache eviction,
-     * so returned references honour the validity contract per thread.
+     * Traces handed to each reader thread recently, keyed by event
+     * index. A pin keeps its trace alive (shared_ptr) even after
+     * cache eviction, and is released only once the thread requests
+     * an index window_ ahead — so returned references honour the
+     * validity contract no matter how many event() calls the thread
+     * makes in between (ESP re-requests its lookahead events on
+     * every stall episode).
      */
-    mutable std::map<std::thread::id,
-                     std::deque<std::shared_ptr<const EventTrace>>>
+    mutable std::map<
+        std::thread::id,
+        std::map<std::size_t, std::shared_ptr<const EventTrace>>>
         pins_;
     mutable std::uint64_t generations_ = 0;
 };

@@ -4,11 +4,15 @@
  *
  *   espsim run   --app amazon --config ESP+NL [--stats]
  *   espsim run   --trace file.espw --config NL+S
- *   espsim suite --configs base,NL,ESP+NL [--jobs N]
+ *   espsim run   --app bing --timeline out.trace.json
+ *   espsim suite --configs base,NL,ESP+NL [--jobs N] [--apps a,b]
+ *                [--json [path]] [--csv [path]]
  *   espsim gen   --app gmaps --out gmaps.espw [--events N]
  *   espsim list  (apps and configs)
+ *   espsim --version
  *
- * Exit code 0 on success, 1 on usage errors.
+ * Tables and results print to stdout; run chatter (manifest, artifact
+ * notes) goes to stderr. Exit code 0 on success, 1 on usage errors.
  */
 
 #include <cstdio>
@@ -22,6 +26,9 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "common/version.hh"
+#include "report/artifact.hh"
+#include "report/timeline.hh"
 #include "sim/stats_report.hh"
 #include "trace/trace_io.hh"
 #include "workload/generator.hh"
@@ -55,11 +62,21 @@ usage()
     std::puts(
         "usage:\n"
         "  espsim run   --app <name>|--trace <file> --config <name> "
-        "[--stats]\n"
-        "  espsim suite [--configs a,b,c] [--jobs N]\n"
+        "[--stats] [--timeline <file>]\n"
+        "  espsim suite [--configs a,b,c] [--apps a,b] [--jobs N] "
+        "[--json [path]] [--csv [path]]\n"
         "  espsim gen   --app <name> --out <file> [--events N]\n"
-        "  espsim list");
+        "  espsim list\n"
+        "  espsim --version");
     return 1;
+}
+
+/** Build/run manifest on stderr; artifacts stay free of such facts. */
+void
+printRunManifest()
+{
+    std::fprintf(stderr, "# espsim %s (%s build)\n", versionString(),
+                 buildTypeString());
 }
 
 /** Minimal flag parser: --key value pairs after the subcommand. */
@@ -133,7 +150,12 @@ cmdRun(const std::map<std::string, std::string> &flags)
         workload = SyntheticGenerator(AppProfile::byName(app)).generate();
     }
 
-    const SimResult r = Simulator(*config).run(*workload);
+    printRunManifest();
+    EventTimeline timeline;
+    const auto tl_it = flags.find("timeline");
+    const bool want_timeline = tl_it != flags.end();
+    const SimResult r = Simulator(*config).run(
+        *workload, want_timeline ? &timeline : nullptr);
     std::printf("%s on %s: %llu cycles, IPC %.3f, L1I-MPKI %.2f, "
                 "L1D-miss %.2f%%, BP-miss %.2f%%\n",
                 r.configName.c_str(), r.workloadName.c_str(),
@@ -142,6 +164,19 @@ cmdRun(const std::map<std::string, std::string> &flags)
                 100.0 * r.mispredictRate);
     if (flags.count("stats"))
         std::fputs(r.stats.dump("  ").c_str(), stdout);
+    if (want_timeline) {
+        if (!timeline.writeChromeTrace(tl_it->second)) {
+            std::fprintf(stderr, "cannot write timeline '%s'\n",
+                         tl_it->second.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "# wrote %s (%zu events, %zu stalls, %zu ESP "
+                     "windows) — load it in ui.perfetto.dev or "
+                     "chrome://tracing\n",
+                     tl_it->second.c_str(), timeline.numEvents(),
+                     timeline.numStalls(), timeline.numEspWindows());
+    }
     return 0;
 }
 
@@ -165,7 +200,32 @@ cmdSuite(const std::map<std::string, std::string> &flags)
         configs.push_back(*cfg);
     }
 
-    SuiteRunner runner;
+    std::vector<AppProfile> apps = AppProfile::webSuite();
+    if (auto it = flags.find("apps"); it != flags.end()) {
+        std::vector<AppProfile> picked;
+        std::stringstream ss(it->second);
+        std::string token;
+        while (std::getline(ss, token, ',')) {
+            bool found = false;
+            for (const AppProfile &p : apps) {
+                if (p.name == token) {
+                    picked.push_back(p);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr,
+                             "unknown app '%s' (try: espsim list)\n",
+                             token.c_str());
+                return 1;
+            }
+        }
+        apps = std::move(picked);
+    }
+
+    printRunManifest();
+    SuiteRunner runner(apps);
     if (auto it = flags.find("jobs"); it != flags.end()) {
         const long jobs = std::strtol(it->second.c_str(), nullptr, 10);
         runner.setJobs(jobs >= 1 ? static_cast<unsigned>(jobs) : 1);
@@ -194,6 +254,37 @@ cmdSuite(const std::map<std::string, std::string> &flags)
         table.row(cells);
     }
     std::fputs(table.render().c_str(), stdout);
+
+    // "--json"/"--csv" with no following path get parseFlags' "1"
+    // placeholder; map that to the default artifact name.
+    ArtifactManifest manifest;
+    manifest.source = "espsim suite";
+    auto artifactPath = [&flags](const char *key,
+                                 const char *def) -> std::string {
+        auto it = flags.find(key);
+        if (it == flags.end())
+            return "";
+        return it->second == "1" ? def : it->second;
+    };
+    if (const std::string path =
+            artifactPath("json", "espsim_suite.json");
+        !path.empty()) {
+        if (!writeTextFile(path, renderSuiteArtifactJson(
+                                     manifest, configs, rows))) {
+            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "# wrote %s\n", path.c_str());
+    }
+    if (const std::string path = artifactPath("csv", "espsim_suite.csv");
+        !path.empty()) {
+        if (!writeTextFile(path, renderSuiteArtifactCsv(
+                                     manifest, configs, rows))) {
+            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "# wrote %s\n", path.c_str());
+    }
     return 0;
 }
 
@@ -228,6 +319,11 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "version") {
+        std::printf("espsim %s (%s build)\n", versionString(),
+                    buildTypeString());
+        return 0;
+    }
     const auto flags = parseFlags(argc, argv, 2);
     if (cmd == "list")
         return cmdList();

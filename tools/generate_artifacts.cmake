@@ -1,0 +1,22 @@
+# Produce the artifacts the artifact_validate ctest checks: a reduced
+# suite sweep (one app, two configs) and a per-event timeline, both via
+# the espsim CLI. Invoked as:
+#   cmake -DESPSIM_CLI=<path> -DARTIFACT_DIR=<dir> -P this-file
+
+file(MAKE_DIRECTORY ${ARTIFACT_DIR})
+
+execute_process(
+    COMMAND ${ESPSIM_CLI} suite --apps amazon --configs base,NL
+        --jobs 2 --json ${ARTIFACT_DIR}/suite.json
+    RESULT_VARIABLE suite_rc)
+if(NOT suite_rc EQUAL 0)
+    message(FATAL_ERROR "espsim suite failed (${suite_rc})")
+endif()
+
+execute_process(
+    COMMAND ${ESPSIM_CLI} run --app amazon --config ESP+NL
+        --timeline ${ARTIFACT_DIR}/timeline.trace.json
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "espsim run --timeline failed (${run_rc})")
+endif()

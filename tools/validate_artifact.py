@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate an espsim observability artifact.
+
+Checks the schema of the JSON artifacts the simulator's binaries
+write — suite artifacts (espsim suite / figure binaries --json), table
+artifacts (descriptive figures --json), and Chrome-trace timelines
+(espsim run --timeline). Standard library only, so it runs anywhere
+the repo builds.
+
+Usage:
+    validate_artifact.py ARTIFACT.json [ARTIFACT2.json ...]
+
+Exit code 0 when every file validates, 1 otherwise; problems are
+printed one per line as `file: message`.
+"""
+
+import json
+import sys
+
+SUITE_SCHEMA = "espsim-suite-artifact"
+TABLE_SCHEMA = "espsim-table-artifact"
+SUPPORTED_FORMAT_VERSIONS = {1}
+
+
+def _fail(problems, message):
+    problems.append(message)
+    return problems
+
+
+def _check_manifest(doc, problems, *, want_hash):
+    manifest = doc.get("manifest")
+    if not isinstance(manifest, dict):
+        return _fail(problems, "missing manifest object")
+    for key in ("source", "tool_version", "build_type"):
+        if not isinstance(manifest.get(key), str) or not manifest[key]:
+            _fail(problems, f"manifest.{key} missing or empty")
+    if want_hash:
+        config_hash = manifest.get("config_hash")
+        if (not isinstance(config_hash, str) or len(config_hash) != 16
+                or any(c not in "0123456789abcdef"
+                       for c in config_hash)):
+            _fail(problems, "manifest.config_hash is not a 16-digit "
+                            "lowercase hex string")
+    return problems
+
+
+def validate_suite(doc, problems):
+    _check_manifest(doc, problems, want_hash=True)
+    manifest = doc.get("manifest", {})
+    apps = manifest.get("apps")
+    configs = manifest.get("configs")
+    if not isinstance(apps, list) or not apps:
+        _fail(problems, "manifest.apps missing or empty")
+    if not isinstance(configs, list) or not configs:
+        _fail(problems, "manifest.configs missing or empty")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return _fail(problems, "results missing or empty")
+    if (isinstance(apps, list) and isinstance(configs, list)
+            and manifest.get("points") != len(apps) * len(configs)):
+        _fail(problems, "manifest.points != apps x configs")
+    if (isinstance(apps, list) and isinstance(configs, list)
+            and len(results) != len(apps) * len(configs)):
+        _fail(problems, "results length != apps x configs")
+    for i, entry in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(entry, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        if isinstance(apps, list) and entry.get("app") not in apps:
+            _fail(problems, f"{where}.app not listed in manifest.apps")
+        if (isinstance(configs, list)
+                and entry.get("config") not in configs):
+            _fail(problems,
+                  f"{where}.config not listed in manifest.configs")
+        stats = entry.get("stats")
+        if not isinstance(stats, dict) or not stats:
+            _fail(problems, f"{where}.stats missing or empty")
+            continue
+        for name, value in stats.items():
+            # Non-finite values serialize as null by policy.
+            if value is not None and not isinstance(value, (int, float)):
+                _fail(problems, f"{where}.stats[{name!r}] is not a "
+                                "number or null")
+        for required in ("core.cycles", "derived.ipc"):
+            if required not in stats:
+                _fail(problems, f"{where}.stats lacks {required!r}")
+    return problems
+
+
+def validate_table(doc, problems):
+    _check_manifest(doc, problems, want_hash=False)
+    if not isinstance(doc.get("title"), str) or not doc["title"]:
+        _fail(problems, "title missing or empty")
+    header = doc.get("header")
+    if not isinstance(header, list) or not header:
+        return _fail(problems, "header missing or empty")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        return _fail(problems, "rows missing")
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(header):
+            _fail(problems, f"rows[{i}] width != header width")
+    return problems
+
+
+def validate_timeline(doc, problems):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return _fail(problems, "traceEvents missing or empty")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("tool") != "espsim":
+        _fail(problems, "otherData.tool != 'espsim'")
+    elif (other.get("timeline_format_version")
+          not in SUPPORTED_FORMAT_VERSIONS):
+        _fail(problems, "unsupported otherData.timeline_format_version")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            _fail(problems, f"{where}.ph is {phase!r}, expected X or M")
+            continue
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                _fail(problems, f"{where} lacks {key!r}")
+        if isinstance(event.get("ts"), (int, float)) and event["ts"] < 0:
+            _fail(problems, f"{where}.ts is negative")
+    return problems
+
+
+def validate(path):
+    problems = []
+    try:
+        with open(path, "rb") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+
+    if "traceEvents" in doc:
+        return validate_timeline(doc, problems)
+
+    schema = doc.get("schema")
+    if schema not in (SUITE_SCHEMA, TABLE_SCHEMA):
+        return _fail(problems, f"unknown schema {schema!r}")
+    if doc.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
+        _fail(problems, "unsupported format_version")
+    if schema == SUITE_SCHEMA:
+        return validate_suite(doc, problems)
+    return validate_table(doc, problems)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    status = 0
+    for path in argv[1:]:
+        problems = validate(path)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
