@@ -5,10 +5,21 @@
  * appends, and end-to-end simulation throughput. These guard the
  * simulator's own performance (the figures above re-run millions of
  * simulated instructions).
+ *
+ * Like every other bench binary, `--json [path]` / `--csv [path]`
+ * export the measured table as a versioned artifact (default
+ * BENCH_micro_components.json/.csv); those flags are stripped from
+ * argv before google-benchmark sees them (its flag parser rejects
+ * anything it does not know).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
 #include "branch/pentium_m.hh"
 #include "cache/hierarchy.hh"
 #include "common/rng.hh"
@@ -129,6 +140,73 @@ BM_SimulateEsp(benchmark::State &state)
 }
 BENCHMARK(BM_SimulateEsp);
 
+/**
+ * Console reporter that also records every per-iteration run into an
+ * exportable table: name, wall time per iteration, and the
+ * items-per-second throughput counter every benchmark here sets.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CapturingReporter(TextTable &table) : table_(table) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration)
+                continue;
+            const auto it = run.counters.find("items_per_second");
+            const double ips = it == run.counters.end()
+                ? 0.0
+                : static_cast<double>(it->second);
+            table_.row({run.benchmark_name(),
+                        TextTable::num(run.GetAdjustedRealTime(), 1),
+                        TextTable::num(ips, 0)});
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    TextTable &table_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const benchutil::ReportOptions opts = benchutil::reportSetup(
+        argc, argv, "micro_components", "micro_components");
+
+    // google-benchmark's Initialize aborts on flags it does not know;
+    // drop the artifact/jobs flags (and their path/value operands)
+    // before handing argv over.
+    std::vector<char *> bench_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const bool takes_value =
+            std::strcmp(argv[i], "--json") == 0 ||
+            std::strcmp(argv[i], "--csv") == 0 ||
+            std::strcmp(argv[i], "--jobs") == 0;
+        if (takes_value) {
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                ++i;
+            continue;
+        }
+        bench_argv.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data()))
+        return 1;
+
+    TextTable table("microbenchmark results");
+    table.header({"benchmark", "time_ns", "items_per_s"});
+    CapturingReporter reporter(table);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    benchutil::reportFinishTable(opts, table);
+    return 0;
+}

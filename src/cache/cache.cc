@@ -69,14 +69,20 @@ SetAssocCache::insert(Addr addr, bool dirty)
     insertInWays(addr, 0, geometry_.assoc - 1, dirty);
 }
 
-void
+std::optional<Addr>
+SetAssocCache::insertEvicting(Addr addr, bool dirty)
+{
+    return insertInWays(addr, 0, geometry_.assoc - 1, dirty);
+}
+
+std::optional<Addr>
 SetAssocCache::insertInWays(Addr addr, unsigned way_lo, unsigned way_hi,
                             bool dirty)
 {
     if (Line *line = findLine(addr)) {
         line->lastUse = ++useClock_;
         line->dirty = line->dirty || dirty;
-        return;
+        return std::nullopt;
     }
     Line *set = &lines_[setIndex(addr) * geometry_.assoc];
     Line *victim = &set[way_lo];
@@ -88,10 +94,14 @@ SetAssocCache::insertInWays(Addr addr, unsigned way_lo, unsigned way_hi,
         if (set[w].lastUse < victim->lastUse)
             victim = &set[w];
     }
+    std::optional<Addr> evicted;
+    if (victim->valid)
+        evicted = victim->tag * blockBytes;
     victim->tag = tagOf(addr);
     victim->valid = true;
     victim->dirty = dirty;
     victim->lastUse = ++useClock_;
+    return evicted;
 }
 
 bool

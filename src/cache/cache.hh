@@ -11,6 +11,7 @@
 #define ESPSIM_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,14 @@ class SetAssocCache
      */
     void insert(Addr addr, bool dirty = false);
 
+    /**
+     * insert() that reports the displaced block: the block-aligned
+     * address of the valid line evicted to make room, or nullopt when
+     * a free way existed / the block was already present. The prefetch
+     * lifecycle tracker keys pollution ("harmful") on this.
+     */
+    std::optional<Addr> insertEvicting(Addr addr, bool dirty = false);
+
     /** Mark the block dirty if present. */
     void writeHit(Addr addr);
 
@@ -93,10 +102,10 @@ class SetAssocCache
 
     /**
      * Fill restricted to ways [way_lo, way_hi]; used by Cachelet's way
-     * reservation.
+     * reservation. @return the displaced block (see insertEvicting).
      */
-    void insertInWays(Addr addr, unsigned way_lo, unsigned way_hi,
-                      bool dirty);
+    std::optional<Addr> insertInWays(Addr addr, unsigned way_lo,
+                                     unsigned way_hi, bool dirty);
     bool lookupInWays(Addr addr, unsigned way_lo, unsigned way_hi);
 };
 

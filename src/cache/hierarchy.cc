@@ -10,8 +10,9 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
 
 AccessResult
 MemoryHierarchy::accessSide(SetAssocCache &l1,
-                            InflightPrefetchBuffer &inflight, Addr addr,
-                            bool write, Cycle now,
+                            InflightPrefetchBuffer &inflight,
+                            PrefetchLifecycleTracker &lifecycle,
+                            Addr addr, bool write, Cycle now,
                             std::uint64_t &acc_stat,
                             std::uint64_t &miss_stat)
 {
@@ -21,6 +22,8 @@ MemoryHierarchy::accessSide(SetAssocCache &l1,
     const auto ready = inflight.consume(blockAlign(addr));
 
     if (l1.lookup(addr)) {
+        if (countStats_)
+            lifecycle.onDemandAccess(blockAlign(addr), now);
         if (ready && *ready > now) {
             // Prefetched block still being filled: pay the residue.
             if (countStats_) {
@@ -40,14 +43,18 @@ MemoryHierarchy::accessSide(SetAssocCache &l1,
         ++miss_stat;
     const Cycle l2_lat = l2_.geometry().hitLatency;
     if (l2_.lookup(addr)) {
-        l1.insert(addr, write);
+        const auto evicted = l1.insertEvicting(addr, write);
+        if (countStats_)
+            lifecycle.onDemandFill(blockAlign(addr), evicted);
         return {l1_lat + l2_lat, HitLevel::L2};
     }
 
     if (countStats_)
         ++stat_l2_miss_;
     l2_.insert(addr);
-    l1.insert(addr, write);
+    const auto evicted = l1.insertEvicting(addr, write);
+    if (countStats_)
+        lifecycle.onDemandFill(blockAlign(addr), evicted);
     return {l1_lat + l2_lat + config_.memLatency, HitLevel::Memory};
 }
 
@@ -59,8 +66,8 @@ MemoryHierarchy::accessInstr(Addr addr, Cycle now)
             ++stat_l1i_acc_;
         return {config_.l1i.hitLatency, HitLevel::L1};
     }
-    return accessSide(l1i_, inflightInstr_, addr, false, now,
-                      stat_l1i_acc_, stat_l1i_miss_);
+    return accessSide(l1i_, inflightInstr_, lifecycleInstr_, addr,
+                      false, now, stat_l1i_acc_, stat_l1i_miss_);
 }
 
 AccessResult
@@ -71,8 +78,8 @@ MemoryHierarchy::accessData(Addr addr, bool write, Cycle now)
             ++stat_l1d_acc_;
         return {config_.l1d.hitLatency, HitLevel::L1};
     }
-    return accessSide(l1d_, inflightData_, addr, write, now,
-                      stat_l1d_acc_, stat_l1d_miss_);
+    return accessSide(l1d_, inflightData_, lifecycleData_, addr, write,
+                      now, stat_l1d_acc_, stat_l1d_miss_);
 }
 
 AccessResult
@@ -106,7 +113,9 @@ MemoryHierarchy::probeData(Addr addr) const
 bool
 MemoryHierarchy::prefetchSide(SetAssocCache &l1,
                               InflightPrefetchBuffer &inflight,
-                              Addr addr, Cycle now)
+                              PrefetchLifecycleTracker &lifecycle,
+                              Addr addr, Cycle now,
+                              PrefetchSource source)
 {
     if (l1.contains(addr) || inflight.contains(addr))
         return false;
@@ -114,26 +123,64 @@ MemoryHierarchy::prefetchSide(SetAssocCache &l1,
     // Fill now (so capacity pressure and pollution are modeled) and
     // remember when the fill actually lands.
     l2_.insert(addr);
-    l1.insert(addr);
-    inflight.issue(blockAlign(addr), now + src.latency);
+    const auto evicted = l1.insertEvicting(addr);
+    const Cycle ready = now + src.latency;
+    inflight.issue(blockAlign(addr), ready);
+    lifecycle.onPrefetchIssue(blockAlign(addr), source, ready, evicted);
     ++stat_pf_issued_;
     return true;
 }
 
 bool
-MemoryHierarchy::prefetchInstr(Addr addr, Cycle now)
+MemoryHierarchy::prefetchInstr(Addr addr, Cycle now,
+                               PrefetchSource source)
 {
     if (config_.perfectL1I)
         return false;
-    return prefetchSide(l1i_, inflightInstr_, addr, now);
+    return prefetchSide(l1i_, inflightInstr_, lifecycleInstr_, addr,
+                        now, source);
 }
 
 bool
-MemoryHierarchy::prefetchData(Addr addr, Cycle now)
+MemoryHierarchy::prefetchData(Addr addr, Cycle now,
+                              PrefetchSource source)
 {
     if (config_.perfectL1D)
         return false;
-    return prefetchSide(l1d_, inflightData_, addr, now);
+    return prefetchSide(l1d_, inflightData_, lifecycleData_, addr, now,
+                        source);
+}
+
+PrefetchSourceStats
+MemoryHierarchy::prefetchLifecycle(PrefetchSource source) const
+{
+    const PrefetchSourceStats &i = lifecycleInstr_.stats(source);
+    const PrefetchSourceStats &d = lifecycleData_.stats(source);
+    PrefetchSourceStats sum;
+    sum.issued = i.issued + d.issued;
+    sum.timely = i.timely + d.timely;
+    sum.late = i.late + d.late;
+    sum.useless = i.useless + d.useless;
+    sum.harmful = i.harmful + d.harmful;
+    sum.leadCycleSum = i.leadCycleSum + d.leadCycleSum;
+    return sum;
+}
+
+PrefetchIssueCounts
+MemoryHierarchy::prefetchIssuedBySource() const
+{
+    PrefetchIssueCounts counts = lifecycleInstr_.issuedCounts();
+    const PrefetchIssueCounts data = lifecycleData_.issuedCounts();
+    for (unsigned s = 0; s < numPrefetchSources; ++s)
+        counts[s] += data[s];
+    return counts;
+}
+
+void
+MemoryHierarchy::finalizePrefetchLifecycles()
+{
+    lifecycleInstr_.finalize();
+    lifecycleData_.finalize();
 }
 
 void
@@ -147,6 +194,63 @@ MemoryHierarchy::registerStats(StatRegistry &reg,
     reg.registerScalar(prefix + "l2.misses", &stat_l2_miss_);
     reg.registerScalar(prefix + "prefetches.issued", &stat_pf_issued_);
     reg.registerScalar(prefix + "prefetches.late", &stat_pf_late_);
+    for (unsigned s = 0; s < numPrefetchSources; ++s) {
+        const auto source = static_cast<PrefetchSource>(s);
+        const std::string base = prefix + "prefetch." +
+            prefetchSourceName(source) + ".";
+        reg.registerDerived(base + "issued", [this, source] {
+            return static_cast<double>(prefetchLifecycle(source).issued);
+        });
+        reg.registerDerived(base + "timely", [this, source] {
+            return static_cast<double>(prefetchLifecycle(source).timely);
+        });
+        reg.registerDerived(base + "late", [this, source] {
+            return static_cast<double>(prefetchLifecycle(source).late);
+        });
+        reg.registerDerived(base + "useless", [this, source] {
+            return static_cast<double>(
+                prefetchLifecycle(source).useless);
+        });
+        reg.registerDerived(base + "harmful", [this, source] {
+            return static_cast<double>(
+                prefetchLifecycle(source).harmful);
+        });
+        reg.registerDerived(base + "accuracy", [this, source] {
+            return prefetchLifecycle(source).accuracy();
+        });
+        reg.registerDerived(base + "avg_lead_cycles", [this, source] {
+            return prefetchLifecycle(source).avgLeadCycles();
+        });
+    }
+    // Coverage: fraction of would-be misses a prefetch covered
+    // (timely fully, late partially). Late hits already count in the
+    // miss stat, so the would-be-miss denominator is timely + misses.
+    reg.registerDerived(prefix + "prefetch.coverage.instr", [this] {
+        std::uint64_t timely = 0, used = 0;
+        for (unsigned s = 0; s < numPrefetchSources; ++s) {
+            const PrefetchSourceStats &st =
+                lifecycleInstr_.stats(static_cast<PrefetchSource>(s));
+            timely += st.timely;
+            used += st.used();
+        }
+        const std::uint64_t denom = timely + stat_l1i_miss_;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(used) /
+                static_cast<double>(denom);
+    });
+    reg.registerDerived(prefix + "prefetch.coverage.data", [this] {
+        std::uint64_t timely = 0, used = 0;
+        for (unsigned s = 0; s < numPrefetchSources; ++s) {
+            const PrefetchSourceStats &st =
+                lifecycleData_.stats(static_cast<PrefetchSource>(s));
+            timely += st.timely;
+            used += st.used();
+        }
+        const std::uint64_t denom = timely + stat_l1d_miss_;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(used) /
+                static_cast<double>(denom);
+    });
 }
 
 void

@@ -80,10 +80,14 @@ class MemoryHierarchy
      * Issue a prefetch of the block containing @p addr into the
      * instruction (or data) side. Fills L1 and L2 immediately and
      * tracks readiness; a no-op when already resident or in flight.
+     * @p source tags the prefetch for lifecycle classification
+     * (timely / late / useless / harmful, per issuing engine).
      * @return true if a prefetch was actually issued.
      */
-    bool prefetchInstr(Addr addr, Cycle now);
-    bool prefetchData(Addr addr, Cycle now);
+    bool prefetchInstr(Addr addr, Cycle now,
+                       PrefetchSource source = PrefetchSource::Other);
+    bool prefetchData(Addr addr, Cycle now,
+                      PrefetchSource source = PrefetchSource::Other);
 
     /** Direct cache access (ESP naive mode uses these). */
     SetAssocCache &l1i() { return l1i_; }
@@ -106,6 +110,16 @@ class MemoryHierarchy
     std::uint64_t prefetchesIssued() const { return stat_pf_issued_; }
     std::uint64_t latePrefetchHits() const { return stat_pf_late_; }
 
+    /** Per-source lifecycle stats, instruction + data side summed. */
+    PrefetchSourceStats prefetchLifecycle(PrefetchSource source) const;
+
+    /** Issued-prefetch totals by source (both sides summed). */
+    PrefetchIssueCounts prefetchIssuedBySource() const;
+
+    /** End of run: score still-unused prefetched blocks as useless.
+     *  Call once, before snapshotting the registry. */
+    void finalizePrefetchLifecycles();
+
     /** Register every hierarchy counter by name (canonical surface). */
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
@@ -121,6 +135,8 @@ class MemoryHierarchy
     SetAssocCache l2_;
     InflightPrefetchBuffer inflightInstr_;
     InflightPrefetchBuffer inflightData_;
+    PrefetchLifecycleTracker lifecycleInstr_;
+    PrefetchLifecycleTracker lifecycleData_;
 
     std::uint64_t stat_l1i_acc_ = 0;
     std::uint64_t stat_l1i_miss_ = 0;
@@ -131,14 +147,16 @@ class MemoryHierarchy
     std::uint64_t stat_pf_late_ = 0;
 
     AccessResult accessSide(SetAssocCache &l1,
-                            InflightPrefetchBuffer &inflight, Addr addr,
-                            bool write, Cycle now,
+                            InflightPrefetchBuffer &inflight,
+                            PrefetchLifecycleTracker &lifecycle,
+                            Addr addr, bool write, Cycle now,
                             std::uint64_t &acc_stat,
                             std::uint64_t &miss_stat);
     AccessResult probeSide(const SetAssocCache &l1, Addr addr) const;
     bool prefetchSide(SetAssocCache &l1,
-                      InflightPrefetchBuffer &inflight, Addr addr,
-                      Cycle now);
+                      InflightPrefetchBuffer &inflight,
+                      PrefetchLifecycleTracker &lifecycle, Addr addr,
+                      Cycle now, PrefetchSource source);
 };
 
 } // namespace espsim

@@ -27,6 +27,16 @@ enum class StallKind
     DataLlcMiss,  //!< load at ROB head missed in the LLC
 };
 
+/** Which speculation engine (if any) is attached to the core's stall
+ *  hook; the cycle attributor charges consumed stall shadow to the
+ *  matching accounting bucket. */
+enum class SpecEngine : std::uint8_t
+{
+    None,
+    Esp,
+    Runahead,
+};
+
 /** Description of one idle window. */
 struct StallContext
 {
@@ -70,11 +80,24 @@ class CoreHooks
         (void)now;
     }
 
-    /** The core idles; the engine may use the window. */
-    virtual void
+    /**
+     * The core idles; the engine may use the window.
+     * @return cycles of the idle shadow the engine spent pre-executing
+     * (0 when unused); the core's cycle attributor re-charges that
+     * portion of the stall to the engine's accounting bucket.
+     */
+    virtual Cycle
     onStall(const StallContext &ctx)
     {
         (void)ctx;
+        return 0;
+    }
+
+    /** Which engine this hook implements (accounting attribution). */
+    virtual SpecEngine
+    engine() const
+    {
+        return SpecEngine::None;
     }
 };
 

@@ -2,8 +2,29 @@
 
 #include <algorithm>
 
+#include "common/logging.hh"
+
 namespace espsim
 {
+
+const char *
+cycleBucketName(CycleBucket bucket)
+{
+    switch (bucket) {
+      case CycleBucket::Retiring: return "retiring";
+      case CycleBucket::FrontendBubble: return "frontend_bubble";
+      case CycleBucket::IcacheMiss: return "icache_miss";
+      case CycleBucket::DcacheMiss: return "dcache_miss";
+      case CycleBucket::LsqFull: return "lsq_full";
+      case CycleBucket::MispredictRedirect: return "mispredict_redirect";
+      case CycleBucket::Drain: return "drain";
+      case CycleBucket::LooperOverhead: return "looper_overhead";
+      case CycleBucket::EspPreExec: return "esp_pre_exec";
+      case CycleBucket::Runahead: return "runahead";
+    }
+    panic("cycleBucketName: bad bucket %u",
+          static_cast<unsigned>(bucket));
+}
 
 OoOCore::OoOCore(const CoreConfig &config, MemoryHierarchy &mem,
                  PentiumMPredictor &bp, const PrefetcherConfig &prefetch,
@@ -11,6 +32,27 @@ OoOCore::OoOCore(const CoreConfig &config, MemoryHierarchy &mem,
     : config_(config), mem_(mem), bp_(bp), hooks_(hooks),
       prefetchCfg_(prefetch)
 {
+    specBucket_ = hooks_.engine() == SpecEngine::Runahead
+        ? CycleBucket::Runahead
+        : CycleBucket::EspPreExec;
+}
+
+void
+OoOCore::charge(CycleBucket bucket, Cycle cycles)
+{
+    stats_.bucketCycles[static_cast<std::size_t>(bucket)] += cycles;
+}
+
+void
+OoOCore::chargeStall(CycleBucket bucket, Cycle cycles)
+{
+    // Re-charge the portion of the stall shadow the speculation engine
+    // reported consumed (data-miss shadows are reported at detection
+    // but materialise later, at the ROB head / LSQ / drain).
+    const Cycle spec = std::min(pendingSpecCycles_, cycles);
+    pendingSpecCycles_ -= spec;
+    charge(specBucket_, spec);
+    charge(bucket, cycles - spec);
 }
 
 void
@@ -41,14 +83,20 @@ OoOCore::registerStats(StatRegistry &reg,
                        &stats_.stallWindows);
     reg.registerDerived(prefix + "ipc",
                         [this] { return stats_.ipc(); });
+    for (unsigned b = 0; b < numCycleBuckets; ++b) {
+        reg.registerScalar(prefix + "cycle_bucket." +
+                               cycleBucketName(static_cast<CycleBucket>(b)),
+                           &stats_.bucketCycles[b]);
+    }
 }
 
 void
-OoOCore::advanceSlot()
+OoOCore::advanceSlot(CycleBucket bucket)
 {
     if (++slotInCycle_ >= config_.width) {
         slotInCycle_ = 0;
         ++fetchCycle_;
+        charge(bucket, 1);
     }
 }
 
@@ -64,6 +112,7 @@ OoOCore::retireForSpace(const MicroOp &next_op)
     if (retire_at > fetchCycle_) {
         const Cycle idle = retire_at - fetchCycle_;
         stats_.robStallCycles += idle;
+        chargeStall(CycleBucket::DcacheMiss, idle);
         if (timeline_) {
             timeline_->recordStall(TimelineStall::DataMiss, fetchCycle_,
                                    idle);
@@ -104,8 +153,10 @@ OoOCore::processOp(const MicroOp &op)
                 ctx.idleCycles = bubble;
                 ctx.kind = StallKind::InstrLlcMiss;
                 ctx.triggerOpIdx = curOpIdx_;
-                hooks_.onStall(ctx);
+                pendingSpecCycles_ +=
+                    std::min(hooks_.onStall(ctx), bubble);
             }
+            chargeStall(CycleBucket::IcacheMiss, bubble);
             fetchCycle_ += bubble;
             slotInCycle_ = 0;
         }
@@ -117,13 +168,13 @@ OoOCore::processOp(const MicroOp &op)
     // (~2-2.5) rather than the fetch-width bound.
     if ((op.srcA != noReg && op.srcA == lastDest_) ||
         (op.srcB != noReg && op.srcB == lastDest_)) {
-        advanceSlot();
-        advanceSlot();
-        advanceSlot();
+        advanceSlot(CycleBucket::FrontendBubble);
+        advanceSlot(CycleBucket::FrontendBubble);
+        advanceSlot(CycleBucket::FrontendBubble);
     }
     if (op.isLoad()) {
-        advanceSlot();
-        advanceSlot();
+        advanceSlot(CycleBucket::FrontendBubble);
+        advanceSlot(CycleBucket::FrontendBubble);
     }
     lastDest_ = op.dest;
 
@@ -149,6 +200,7 @@ OoOCore::processOp(const MicroOp &op)
             if (oldest.complete > fetchCycle_) {
                 const Cycle wait = oldest.complete - fetchCycle_;
                 stats_.lsqStallCycles += wait;
+                chargeStall(CycleBucket::LsqFull, wait);
                 if (timeline_) {
                     timeline_->recordStall(TimelineStall::LsqFull,
                                            fetchCycle_, wait);
@@ -187,7 +239,8 @@ OoOCore::processOp(const MicroOp &op)
                 sctx.kind = StallKind::DataLlcMiss;
                 sctx.triggerOpIdx = curOpIdx_;
                 sctx.missDest = op.dest;
-                hooks_.onStall(sctx);
+                pendingSpecCycles_ +=
+                    std::min(hooks_.onStall(sctx), shadow);
             }
             if (prefetchCfg_.nextLineData)
                 nlData_.notifyAccess(mem_, op.memAddr, fetchCycle_);
@@ -223,7 +276,13 @@ OoOCore::processOp(const MicroOp &op)
                                            dispatch,
                                            config_.mispredictPenalty);
                 }
-                fetchCycle_ = dispatch + config_.mispredictPenalty;
+                const Cycle redirect = dispatch +
+                    config_.mispredictPenalty;
+                if (redirect > fetchCycle_) {
+                    charge(CycleBucket::MispredictRedirect,
+                           redirect - fetchCycle_);
+                    fetchCycle_ = redirect;
+                }
                 slotInCycle_ = 0;
             } else if (res == BranchResult::BtbMiss) {
                 ++stats_.btbMisses;
@@ -233,6 +292,8 @@ OoOCore::processOp(const MicroOp &op)
                                            fetchCycle_,
                                            config_.btbMissPenalty);
                 }
+                charge(CycleBucket::MispredictRedirect,
+                       config_.btbMissPenalty);
                 fetchCycle_ += config_.btbMissPenalty;
                 slotInCycle_ = 0;
             }
@@ -264,10 +325,13 @@ OoOCore::drainRob()
     // misses were already reported to the engine at detection time.
     if (miss_pending && last > fetchCycle_) {
         stats_.robStallCycles += last - fetchCycle_;
+        chargeStall(CycleBucket::DcacheMiss, last - fetchCycle_);
         if (timeline_) {
             timeline_->recordStall(TimelineStall::DataMiss, fetchCycle_,
                                    last - fetchCycle_);
         }
+    } else if (last > fetchCycle_) {
+        charge(CycleBucket::Drain, last - fetchCycle_);
     }
     (void)miss_dest;
     rob_.clear();
@@ -285,6 +349,7 @@ OoOCore::executeLooperOverhead()
     // pre-event prefetch window.
     const Cycle gap =
         (config_.looperOverheadInstr + config_.width - 1) / config_.width;
+    charge(CycleBucket::LooperOverhead, gap);
     fetchCycle_ += gap;
     slotInCycle_ = 0;
     stats_.instructions += config_.looperOverheadInstr;
@@ -294,6 +359,9 @@ void
 OoOCore::run(const Workload &workload)
 {
     for (std::size_t idx = 0; idx < workload.numEvents(); ++idx) {
+        const CycleBucketArray buckets_at_start = stats_.bucketCycles;
+        const PrefetchIssueCounts pf_at_start =
+            mem_.prefetchIssuedBySource();
         if (timeline_)
             timeline_->eventQueued(idx, fetchCycle_);
         // The hook fires before the looper-gap instructions so the ESP
@@ -311,15 +379,52 @@ OoOCore::run(const Workload &workload)
             processOp(event.ops[i]);
         }
         drainRob();
+        // A stall shadow never extends past the event-end drain; drop
+        // any engine-consumed cycles whose stall never materialised so
+        // they cannot leak attribution into the next event.
+        pendingSpecCycles_ = 0;
         ++stats_.events;
         hooks_.onEventEnd(idx, fetchCycle_);
+
+        // Per-event-type (handler) cycle attribution.
+        CycleBucketArray delta{};
+        for (unsigned b = 0; b < numCycleBuckets; ++b)
+            delta[b] = stats_.bucketCycles[b] - buckets_at_start[b];
+        HandlerAccounting &acct =
+            stats_.handlerAccounting[event.handlerType];
+        ++acct.events;
+        for (unsigned b = 0; b < numCycleBuckets; ++b)
+            acct.buckets[b] += delta[b];
+
         if (timeline_) {
             timeline_->eventRetired(idx, fetchCycle_,
                                     stats_.instructions -
                                         instr_at_dispatch);
+            std::vector<std::pair<std::string, Cycle>> bucket_args;
+            for (unsigned b = 0; b < numCycleBuckets; ++b) {
+                bucket_args.emplace_back(
+                    cycleBucketName(static_cast<CycleBucket>(b)),
+                    delta[b]);
+            }
+            timeline_->eventCycleBuckets(idx, std::move(bucket_args));
+            const PrefetchIssueCounts pf_now =
+                mem_.prefetchIssuedBySource();
+            std::vector<std::pair<std::string, std::uint64_t>> pf_args;
+            for (unsigned s = 0; s < numPrefetchSources; ++s) {
+                pf_args.emplace_back(
+                    prefetchSourceName(static_cast<PrefetchSource>(s)),
+                    pf_now[s] - pf_at_start[s]);
+            }
+            timeline_->eventPrefetchTallies(idx, std::move(pf_args));
         }
     }
     stats_.cycles = fetchCycle_;
+    if (stats_.bucketSum() != stats_.cycles) {
+        panic("cycle-accounting invariant violated: buckets sum to "
+              "%llu but the core ran %llu cycles",
+              static_cast<unsigned long long>(stats_.bucketSum()),
+              static_cast<unsigned long long>(stats_.cycles));
+    }
 }
 
 } // namespace espsim

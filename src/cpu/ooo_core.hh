@@ -20,8 +20,10 @@
 #ifndef ESPSIM_CPU_OOO_CORE_HH
 #define ESPSIM_CPU_OOO_CORE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 
 #include "branch/pentium_m.hh"
 #include "cache/hierarchy.hh"
@@ -68,6 +70,56 @@ struct PrefetcherConfig
     bool strideData = false;
 };
 
+/**
+ * Top-down cycle-accounting buckets (paper Figures 4-5 taxonomy).
+ *
+ * Every cycle the core's clock advances is charged to **exactly one**
+ * bucket at the moment it is spent, so `Σ buckets == total cycles`
+ * holds by construction; OoOCore::run() fatals if the invariant is
+ * ever violated. Stall shadows that an attached speculation engine
+ * reported as consumed (the onStall() return value) are re-charged
+ * from the stall bucket to EspPreExec / Runahead, making "how much of
+ * the memory stall did speculation convert into useful pre-execution"
+ * a first-class statistic.
+ */
+enum class CycleBucket : std::uint8_t
+{
+    Retiring = 0,       //!< issue slots retiring useful instructions
+    FrontendBubble,     //!< dependency / load-to-use issue gaps
+    IcacheMiss,         //!< fetch bubbles beyond the hidden L1 latency
+    DcacheMiss,         //!< data-miss waits at the head of the ROB
+    LsqFull,            //!< oldest memory op blocking a full LSQ
+    MispredictRedirect, //!< mispredict flushes + BTB-miss refetches
+    Drain,              //!< event-end pipeline drain (no miss pending)
+    LooperOverhead,     //!< inter-event looper-thread instructions
+    EspPreExec,         //!< stall shadow consumed by ESP pre-execution
+    Runahead,           //!< stall shadow consumed by runahead
+};
+
+constexpr unsigned numCycleBuckets = 10;
+
+/** Stable snake_case stat-name token for @p bucket. */
+const char *cycleBucketName(CycleBucket bucket);
+
+/** Per-bucket cycle totals; one accumulator, one per handler type. */
+using CycleBucketArray = std::array<Cycle, numCycleBuckets>;
+
+/** Accounting for one event-handler type (per-event-type breakdown). */
+struct HandlerAccounting
+{
+    std::uint64_t events = 0;
+    CycleBucketArray buckets{};
+
+    Cycle
+    cycles() const
+    {
+        Cycle sum = 0;
+        for (const Cycle c : buckets)
+            sum += c;
+        return sum;
+    }
+};
+
 /** Cycle/instruction counters the core accumulates over a run. */
 struct CoreStats
 {
@@ -86,6 +138,20 @@ struct CoreStats
     Cycle robStallCycles = 0; //!< head-of-ROB data-miss waits
     Cycle lsqStallCycles = 0;
     std::uint64_t stallWindows = 0; //!< onStall() deliveries
+
+    /** Top-down attribution: where every cycle went (sums to cycles). */
+    CycleBucketArray bucketCycles{};
+    /** The same buckets broken down per event-handler type. */
+    std::map<std::uint32_t, HandlerAccounting> handlerAccounting;
+
+    Cycle
+    bucketSum() const
+    {
+        Cycle sum = 0;
+        for (const Cycle c : bucketCycles)
+            sum += c;
+        return sum;
+    }
 
     double
     ipc() const
@@ -157,10 +223,21 @@ class OoOCore
     std::size_t curOpIdx_ = 0;
     std::uint8_t lastDest_ = noReg; //!< dependency-issue modeling
 
+    /** Accounting bucket for consumed stall shadow (engine kind). */
+    CycleBucket specBucket_ = CycleBucket::EspPreExec;
+    /** Shadow cycles the engine reported consumed but whose stall has
+     *  not yet materialised (data-miss shadows surface later, at the
+     *  ROB head / LSQ / drain). */
+    Cycle pendingSpecCycles_ = 0;
+
+    void charge(CycleBucket bucket, Cycle cycles);
+    /** Charge @p cycles of stall: the engine-consumed portion goes to
+     *  the speculation bucket, the remainder to @p bucket. */
+    void chargeStall(CycleBucket bucket, Cycle cycles);
     void processOp(const MicroOp &op);
     void retireForSpace(const MicroOp &next_op);
     void drainRob();
-    void advanceSlot();
+    void advanceSlot(CycleBucket bucket = CycleBucket::Retiring);
     void executeLooperOverhead();
 };
 

@@ -23,15 +23,15 @@ RunaheadEngine::onEventStart(std::size_t event_idx, Cycle now)
     coveredOpIdx_ = 0;
 }
 
-void
+Cycle
 RunaheadEngine::onStall(const StallContext &ctx)
 {
     // Runahead is only entered on *data* LLC misses; an instruction
     // miss leaves nothing to pre-execute.
     if (ctx.kind != StallKind::DataLlcMiss)
-        return;
+        return 0;
     if (curEventIdx_ >= workload_.numEvents())
-        return;
+        return 0;
 
     const EventTrace &ev = workload_.event(curEventIdx_);
     // Resume past ground already covered by an earlier, overlapping
@@ -39,7 +39,7 @@ RunaheadEngine::onStall(const StallContext &ctx)
     // idempotent (blocks warm, counters saturated).
     std::size_t pos = std::max(ctx.triggerOpIdx, coveredOpIdx_);
     if (pos >= ev.ops.size())
-        return;
+        return 0;
     ++stats_.entries;
     std::uint64_t budget_q =
         static_cast<std::uint64_t>(ctx.idleCycles) * width_;
@@ -139,6 +139,9 @@ RunaheadEngine::onStall(const StallContext &ctx)
     // Architectural runahead state is squashed; restore the context.
     bp_.swapContext(saved_ctx);
     coveredOpIdx_ = std::max(coveredOpIdx_, pos);
+    // Report the consumed shadow so the core's cycle attributor can
+    // move it from the stall bucket into the runahead bucket.
+    return std::min<Cycle>(spent / width_, ctx.idleCycles);
 }
 
 void

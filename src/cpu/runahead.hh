@@ -59,7 +59,8 @@ class RunaheadEngine : public CoreHooks
                    unsigned core_width = 4);
 
     void onEventStart(std::size_t event_idx, Cycle now) override;
-    void onStall(const StallContext &ctx) override;
+    Cycle onStall(const StallContext &ctx) override;
+    SpecEngine engine() const override { return SpecEngine::Runahead; }
 
     const RunaheadStats &stats() const { return stats_; }
 

@@ -21,6 +21,32 @@ depthEnum(unsigned d)
     return d == 0 ? EspDepth::Esp1 : EspDepth::Esp2;
 }
 
+/** Tally one AddressList append outcome into the list counters. */
+void
+countOutcome(AppendOutcome out, std::uint64_t &blocks,
+             std::uint64_t &runs, std::uint64_t &retouches,
+             std::uint64_t &escapes)
+{
+    switch (out) {
+      case AppendOutcome::NewRecord:
+        ++blocks;
+        break;
+      case AppendOutcome::NewRecordEscaped:
+        ++blocks;
+        ++escapes;
+        break;
+      case AppendOutcome::RunExtended:
+        ++blocks;
+        ++runs;
+        break;
+      case AppendOutcome::Retouch:
+        ++retouches;
+        break;
+      case AppendOutcome::Rejected:
+        break;
+    }
+}
+
 } // namespace
 
 EspController::EspController(const EspConfig &config,
@@ -112,8 +138,12 @@ EspController::speculativeFetch(unsigned d, SpecContext &sc, Addr pc)
     if (!config_.ideal && d < 2)
         icachelet_.insertFor(depthEnum(d), pc);
     if (config_.useIList) {
-        if (!sc.ilist.append(pc, sc.opIdx))
+        AppendOutcome out;
+        if (!sc.ilist.append(pc, sc.opIdx, &out))
             ++stats_.iListOverflows;
+        countOutcome(out, stats_.iListBlocksRecorded,
+                     stats_.iListRunExtensions, stats_.iListRetouches,
+                     stats_.iListEscapes);
     }
     return res;
 }
@@ -147,8 +177,12 @@ EspController::speculativeData(unsigned d, SpecContext &sc,
     if (!config_.ideal && d < 2)
         dcachelet_.insertFor(depthEnum(d), op.memAddr, op.isStore());
     if (config_.useDList) {
-        if (!sc.dlist.append(op.memAddr, sc.opIdx))
+        AppendOutcome out;
+        if (!sc.dlist.append(op.memAddr, sc.opIdx, &out))
             ++stats_.dListOverflows;
+        countOutcome(out, stats_.dListBlocksRecorded,
+                     stats_.dListRunExtensions, stats_.dListRetouches,
+                     stats_.dListEscapes);
     }
     return res;
 }
@@ -306,11 +340,11 @@ EspController::runSpec(unsigned d, std::uint64_t budget_q,
     return spent;
 }
 
-void
+Cycle
 EspController::onStall(const StallContext &ctx)
 {
     if (curEventIdx_ + 1 >= workload_.numEvents())
-        return;
+        return 0;
     ++stats_.jumps;
 
     std::uint64_t budget_q =
@@ -342,6 +376,10 @@ EspController::onStall(const StallContext &ctx)
 
     if (config_.naiveMode)
         mem_.setStatCounting(true);
+    // Report how much of the idle shadow pre-execution actually used;
+    // the core's cycle attributor moves that portion of the stall into
+    // the esp_pre_exec bucket.
+    return std::min<Cycle>(consumed_q / width_, ctx.idleCycles);
 }
 
 AddressList
@@ -448,7 +486,8 @@ EspController::drainPrefetches(std::size_t op_idx, Cycle now)
                     mem_.l2().insert(addr);
                     mem_.l1i().insert(addr);
                 } else {
-                    mem_.prefetchInstr(addr, now);
+                    mem_.prefetchInstr(addr, now,
+                                       PrefetchSource::EspIList);
                 }
                 ++stats_.listPrefetchesInstr;
             }
@@ -464,7 +503,8 @@ EspController::drainPrefetches(std::size_t op_idx, Cycle now)
                     mem_.l2().insert(addr);
                     mem_.l1d().insert(addr);
                 } else {
-                    mem_.prefetchData(addr, now);
+                    mem_.prefetchData(addr, now,
+                                      PrefetchSource::EspDList);
                 }
                 ++stats_.listPrefetchesData;
             }
@@ -555,6 +595,69 @@ EspController::registerStats(StatRegistry &reg,
                        &stats_.dListOverflows);
     reg.registerScalar(prefix + "blist_overflows",
                        &stats_.bListOverflows);
+    reg.registerScalar(prefix + "ilist.blocks_recorded",
+                       &stats_.iListBlocksRecorded);
+    reg.registerScalar(prefix + "ilist.run_extensions",
+                       &stats_.iListRunExtensions);
+    reg.registerScalar(prefix + "ilist.retouches",
+                       &stats_.iListRetouches);
+    reg.registerScalar(prefix + "ilist.escapes", &stats_.iListEscapes);
+    reg.registerScalar(prefix + "dlist.blocks_recorded",
+                       &stats_.dListBlocksRecorded);
+    reg.registerScalar(prefix + "dlist.run_extensions",
+                       &stats_.dListRunExtensions);
+    reg.registerScalar(prefix + "dlist.retouches",
+                       &stats_.dListRetouches);
+    reg.registerScalar(prefix + "dlist.escapes", &stats_.dListEscapes);
+    // Coverage: fraction of distinct speculative blocks the bounded
+    // list actually captured. Compression: blocks folded per encoded
+    // record (run-length win), and how often delta encoding failed.
+    reg.registerDerived(prefix + "ilist.coverage", [this] {
+        const std::uint64_t total =
+            stats_.iListBlocksRecorded + stats_.iListOverflows;
+        return total == 0 ? 0.0
+                          : static_cast<double>(
+                                stats_.iListBlocksRecorded) /
+                static_cast<double>(total);
+    });
+    reg.registerDerived(prefix + "ilist.blocks_per_record", [this] {
+        const std::uint64_t recs =
+            stats_.iListBlocksRecorded - stats_.iListRunExtensions;
+        return recs == 0 ? 0.0
+                         : static_cast<double>(
+                               stats_.iListBlocksRecorded) /
+                static_cast<double>(recs);
+    });
+    reg.registerDerived(prefix + "ilist.escape_fraction", [this] {
+        const std::uint64_t recs =
+            stats_.iListBlocksRecorded - stats_.iListRunExtensions;
+        return recs == 0 ? 0.0
+                         : static_cast<double>(stats_.iListEscapes) /
+                static_cast<double>(recs);
+    });
+    reg.registerDerived(prefix + "dlist.coverage", [this] {
+        const std::uint64_t total =
+            stats_.dListBlocksRecorded + stats_.dListOverflows;
+        return total == 0 ? 0.0
+                          : static_cast<double>(
+                                stats_.dListBlocksRecorded) /
+                static_cast<double>(total);
+    });
+    reg.registerDerived(prefix + "dlist.blocks_per_record", [this] {
+        const std::uint64_t recs =
+            stats_.dListBlocksRecorded - stats_.dListRunExtensions;
+        return recs == 0 ? 0.0
+                         : static_cast<double>(
+                               stats_.dListBlocksRecorded) /
+                static_cast<double>(recs);
+    });
+    reg.registerDerived(prefix + "dlist.escape_fraction", [this] {
+        const std::uint64_t recs =
+            stats_.dListBlocksRecorded - stats_.dListRunExtensions;
+        return recs == 0 ? 0.0
+                         : static_cast<double>(stats_.dListEscapes) /
+                static_cast<double>(recs);
+    });
     reg.registerScalar(prefix + "diverged_events_pre_executed",
                        &stats_.divergedEventsPreExecuted);
     reg.registerScalar(prefix + "mispredicted_dispatches",

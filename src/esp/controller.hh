@@ -53,6 +53,16 @@ struct EspStats
     std::uint64_t iListOverflows = 0;
     std::uint64_t dListOverflows = 0;
     std::uint64_t bListOverflows = 0;
+    // List coverage / compression raw counters (AppendOutcome tallies
+    // over every speculative block recorded into an I-/D-list).
+    std::uint64_t iListBlocksRecorded = 0; //!< new records + run ext.
+    std::uint64_t iListRunExtensions = 0;
+    std::uint64_t iListRetouches = 0;
+    std::uint64_t iListEscapes = 0;
+    std::uint64_t dListBlocksRecorded = 0;
+    std::uint64_t dListRunExtensions = 0;
+    std::uint64_t dListRetouches = 0;
+    std::uint64_t dListEscapes = 0;
     std::uint64_t divergedEventsPreExecuted = 0;
     /** Promotions vetoed by the incorrect-prediction bit (§4.5):
      *  the runtime dispatched a different event than predicted. */
@@ -76,7 +86,8 @@ class EspController : public CoreHooks
     void onEventEnd(std::size_t event_idx, Cycle now) override;
     void beforeOp(std::size_t op_idx, const MicroOp &op,
                   Cycle now) override;
-    void onStall(const StallContext &ctx) override;
+    Cycle onStall(const StallContext &ctx) override;
+    SpecEngine engine() const override { return SpecEngine::Esp; }
 
     const EspStats &stats() const { return stats_; }
     const EspConfig &config() const { return config_; }

@@ -22,8 +22,12 @@ AddressList::charge(std::size_t bits)
 }
 
 bool
-AddressList::append(Addr addr, InstCount inst_count)
+AddressList::append(Addr addr, InstCount inst_count,
+                    AppendOutcome *outcome)
 {
+    AppendOutcome scratch;
+    AppendOutcome &out = outcome ? *outcome : scratch;
+    out = AppendOutcome::Rejected;
     if (full_)
         return false;
     const Addr block = blockAlign(addr);
@@ -39,13 +43,17 @@ AddressList::append(Addr addr, InstCount inst_count)
             ++prev.runLength;
             lastBlock_ = block;
             lastInst_ = inst_count;
+            out = AppendOutcome::RunExtended;
             return true;
         }
-        if (block == lastBlock_)
+        if (block == lastBlock_) {
+            out = AppendOutcome::Retouch;
             return true; // re-touch of the same block: nothing to add
+        }
     }
 
     std::size_t bits = entryBits;
+    bool escaped = false;
     if (haveLast_) {
         const auto delta =
             static_cast<std::int64_t>(blockNumber(block)) -
@@ -54,6 +62,7 @@ AddressList::append(Addr addr, InstCount inst_count)
             // Large-offset escape: the next two entries carry the full
             // 26-bit block address.
             bits += 2 * entryBits;
+            escaped = true;
         }
         const auto inst_delta = static_cast<std::int64_t>(inst_count) -
             static_cast<std::int64_t>(lastInst_);
@@ -75,6 +84,8 @@ AddressList::append(Addr addr, InstCount inst_count)
     lastBlock_ = block;
     lastInst_ = inst_count;
     haveLast_ = true;
+    out = escaped ? AppendOutcome::NewRecordEscaped
+                  : AppendOutcome::NewRecord;
     return true;
 }
 

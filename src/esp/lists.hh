@@ -40,6 +40,17 @@ struct AddressRecord
     unsigned runLength = 0;  //!< contiguous blocks that follow
 };
 
+/** How AddressList::append() stored (or refused) one block — the raw
+ *  material of the list compression / coverage counters. */
+enum class AppendOutcome : std::uint8_t
+{
+    NewRecord = 0,    //!< fresh delta-encoded entry
+    NewRecordEscaped, //!< fresh entry needing large-offset escapes
+    RunExtended,      //!< folded into the previous record's run field
+    Retouch,          //!< same block again — deduplicated at zero cost
+    Rejected,         //!< list full; the block is not covered
+};
+
 /** Capacity-bounded, delta-encoded list of cache block addresses. */
 class AddressList
 {
@@ -50,9 +61,11 @@ class AddressList
     /**
      * Record that @p addr's block was fetched at instruction
      * @p inst_count. Extends the previous record's run when contiguous.
+     * @p outcome, when non-null, reports how the block was encoded.
      * @return false (and records nothing) once the list is full.
      */
-    bool append(Addr addr, InstCount inst_count);
+    bool append(Addr addr, InstCount inst_count,
+                AppendOutcome *outcome = nullptr);
 
     const std::vector<AddressRecord> &records() const { return records_; }
     std::size_t bitsUsed() const { return bitsUsed_; }

@@ -1,7 +1,119 @@
 #include "prefetch/inflight.hh"
 
+#include "common/logging.hh"
+
 namespace espsim
 {
+
+const char *
+prefetchSourceName(PrefetchSource source)
+{
+    switch (source) {
+      case PrefetchSource::EspIList: return "esp_ilist";
+      case PrefetchSource::EspDList: return "esp_dlist";
+      case PrefetchSource::NextLineInstr: return "next_line_instr";
+      case PrefetchSource::NextLineData: return "next_line_data";
+      case PrefetchSource::StrideData: return "stride_data";
+      case PrefetchSource::Other: return "other";
+    }
+    panic("prefetchSourceName: bad source %u",
+          static_cast<unsigned>(source));
+}
+
+void
+PrefetchLifecycleTracker::onPrefetchIssue(Addr block,
+                                          PrefetchSource source,
+                                          Cycle ready,
+                                          std::optional<Addr> evicted)
+{
+    if (evicted)
+        onEviction(*evicted, source);
+    ++stats_[static_cast<std::size_t>(source)].issued;
+    live_[block] = LiveEntry{source, ready, false};
+}
+
+void
+PrefetchLifecycleTracker::onDemandAccess(Addr block, Cycle now)
+{
+    auto it = live_.find(block);
+    if (it != live_.end() && !it->second.used) {
+        it->second.used = true;
+        PrefetchSourceStats &s =
+            stats_[static_cast<std::size_t>(it->second.source)];
+        if (now >= it->second.ready) {
+            ++s.timely;
+            s.leadCycleSum += now - it->second.ready;
+        } else {
+            ++s.late;
+        }
+    }
+    // A demanded block (prefetched or not) is live demand data: if a
+    // later prefetch fill displaces it, that fill was harmful.
+    demandLive_.insert(block);
+}
+
+void
+PrefetchLifecycleTracker::onDemandFill(Addr block,
+                                       std::optional<Addr> evicted)
+{
+    if (evicted)
+        onEviction(*evicted, std::nullopt);
+    demandLive_.insert(block);
+    // The block arrived on demand, not via prefetch: drop any stale
+    // lifecycle record (its eviction was already scored).
+    live_.erase(block);
+}
+
+void
+PrefetchLifecycleTracker::onEviction(
+    Addr block, std::optional<PrefetchSource> byPrefetch)
+{
+    auto it = live_.find(block);
+    if (it != live_.end()) {
+        if (!it->second.used) {
+            ++stats_[static_cast<std::size_t>(it->second.source)]
+                  .useless;
+        } else if (byPrefetch) {
+            // The victim was prefetched data the demand stream had
+            // adopted — displacing it is pollution all the same.
+            ++stats_[static_cast<std::size_t>(*byPrefetch)].harmful;
+        }
+        live_.erase(it);
+        demandLive_.erase(block);
+        return;
+    }
+    if (demandLive_.erase(block) != 0 && byPrefetch)
+        ++stats_[static_cast<std::size_t>(*byPrefetch)].harmful;
+}
+
+void
+PrefetchLifecycleTracker::finalize()
+{
+    for (auto &[block, entry] : live_) {
+        (void)block;
+        if (!entry.used)
+            ++stats_[static_cast<std::size_t>(entry.source)].useless;
+    }
+    live_.clear();
+    demandLive_.clear();
+}
+
+PrefetchIssueCounts
+PrefetchLifecycleTracker::issuedCounts() const
+{
+    PrefetchIssueCounts counts{};
+    for (unsigned s = 0; s < numPrefetchSources; ++s)
+        counts[s] = stats_[s].issued;
+    return counts;
+}
+
+void
+PrefetchLifecycleTracker::clear()
+{
+    stats_ = {};
+    live_.clear();
+    demandLive_.clear();
+}
 
 InflightPrefetchBuffer::InflightPrefetchBuffer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity)

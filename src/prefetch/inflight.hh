@@ -12,15 +12,131 @@
 #ifndef ESPSIM_PREFETCH_INFLIGHT_HH
 #define ESPSIM_PREFETCH_INFLIGHT_HH
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/types.hh"
 
 namespace espsim
 {
+
+/** Who issued a prefetch (lifecycle attribution). */
+enum class PrefetchSource : std::uint8_t
+{
+    EspIList = 0,  //!< ESP instruction-address list replay
+    EspDList,      //!< ESP data-address list replay
+    NextLineInstr, //!< next-line instruction prefetcher
+    NextLineData,  //!< DCU next-line data prefetcher
+    StrideData,    //!< IP-stride data prefetcher
+    Other,         //!< untagged (tests, direct calls)
+};
+
+constexpr unsigned numPrefetchSources = 6;
+
+/** Stable snake_case stat-name token for @p source. */
+const char *prefetchSourceName(PrefetchSource source);
+
+/** Issued-prefetch totals indexed by PrefetchSource. */
+using PrefetchIssueCounts = std::array<std::uint64_t, numPrefetchSources>;
+
+/**
+ * Lifecycle outcome counters for one prefetch source.
+ *
+ * Taxonomy (MERE-style): a prefetch is *timely* when the demand access
+ * arrives at or after its fill lands, *late* when demand arrives while
+ * it is still in flight (the residue is paid), *useless* when it is
+ * evicted — or the run ends — without ever being demanded, and
+ * *harmful* when its fill displaced a live demand block (pollution).
+ */
+struct PrefetchSourceStats
+{
+    std::uint64_t issued = 0;
+    std::uint64_t timely = 0;
+    std::uint64_t late = 0;
+    std::uint64_t useless = 0;
+    std::uint64_t harmful = 0;
+    Cycle leadCycleSum = 0; //!< Σ (demand − ready) over timely uses
+
+    std::uint64_t used() const { return timely + late; }
+
+    /** Fraction of issued prefetches that were demanded at all. */
+    double
+    accuracy() const
+    {
+        return issued == 0 ? 0.0
+                           : static_cast<double>(used()) /
+                static_cast<double>(issued);
+    }
+
+    /** Mean cycles a timely prefetch landed ahead of its demand. */
+    double
+    avgLeadCycles() const
+    {
+        return timely == 0 ? 0.0
+                           : static_cast<double>(leadCycleSum) /
+                static_cast<double>(timely);
+    }
+};
+
+/**
+ * Classifies every prefetch of one cache side (instruction or data)
+ * as timely / late / useless / harmful, per source.
+ *
+ * The MemoryHierarchy drives it from three places: prefetch issue
+ * (with the L1 victim the fill displaced), demand access, and demand
+ * fill (with its victim). Unused prefetched blocks are scored useless
+ * at eviction or at finalize(); a prefetch fill that displaces a
+ * demand-live block scores harmful for the *issuing* source.
+ */
+class PrefetchLifecycleTracker
+{
+  public:
+    /** A prefetch of @p block was issued; its fill lands at @p ready.
+     *  @p evicted is the L1 victim the immediate fill displaced. */
+    void onPrefetchIssue(Addr block, PrefetchSource source, Cycle ready,
+                         std::optional<Addr> evicted);
+
+    /** A demand access touched @p block at @p now (hit or miss). */
+    void onDemandAccess(Addr block, Cycle now);
+
+    /** A demand fill of @p block displaced @p evicted from the L1. */
+    void onDemandFill(Addr block, std::optional<Addr> evicted);
+
+    /** End of run: score still-unused live prefetches as useless. */
+    void finalize();
+
+    const PrefetchSourceStats &
+    stats(PrefetchSource source) const
+    {
+        return stats_[static_cast<std::size_t>(source)];
+    }
+
+    PrefetchIssueCounts issuedCounts() const;
+
+    void clear();
+
+  private:
+    struct LiveEntry
+    {
+        PrefetchSource source = PrefetchSource::Other;
+        Cycle ready = 0;
+        bool used = false;
+    };
+
+    /** @p block left the L1; @p byPrefetch names the displacing
+     *  source when the evictor was a prefetch fill. */
+    void onEviction(Addr block,
+                    std::optional<PrefetchSource> byPrefetch);
+
+    std::array<PrefetchSourceStats, numPrefetchSources> stats_{};
+    std::unordered_map<Addr, LiveEntry> live_;
+    std::unordered_set<Addr> demandLive_;
+};
 
 /** FIFO-bounded map of in-flight prefetch block addresses. */
 class InflightPrefetchBuffer

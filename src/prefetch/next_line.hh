@@ -38,8 +38,10 @@ class NextLineInstrPrefetcher
         if (block == lastBlock_)
             return;
         lastBlock_ = block;
-        for (unsigned d = 1; d <= degree_; ++d)
-            mem.prefetchInstr(block + d * blockBytes, now);
+        for (unsigned d = 1; d <= degree_; ++d) {
+            mem.prefetchInstr(block + d * blockBytes, now,
+                              PrefetchSource::NextLineInstr);
+        }
     }
 
   private:
@@ -64,7 +66,8 @@ class DcuPrefetcher
         const Addr block = blockAlign(addr);
         if (block == lastBlock_) {
             if (++count_ >= trigger_) {
-                mem.prefetchData(block + blockBytes, now);
+                mem.prefetchData(block + blockBytes, now,
+                                 PrefetchSource::NextLineData);
                 count_ = 0;
             }
         } else {

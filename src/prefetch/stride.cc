@@ -48,8 +48,10 @@ StridePrefetcher::notifyAccess(MemoryHierarchy &mem, Addr pc, Addr addr,
         for (unsigned d = 1; d <= degree_; ++d) {
             const auto target = static_cast<std::int64_t>(addr) +
                 static_cast<std::int64_t>(d) * e.stride;
-            if (target > 0)
-                mem.prefetchData(static_cast<Addr>(target), now);
+            if (target > 0) {
+                mem.prefetchData(static_cast<Addr>(target), now,
+                                 PrefetchSource::StrideData);
+            }
         }
     }
 }

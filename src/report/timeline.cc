@@ -55,6 +55,24 @@ EventTimeline::eventRetired(std::size_t event_idx, Cycle now,
 }
 
 void
+EventTimeline::eventCycleBuckets(
+    std::size_t event_idx,
+    std::vector<std::pair<std::string, Cycle>> buckets)
+{
+    if (!events_.empty() && events_.back().index == event_idx)
+        events_.back().cycleBuckets = std::move(buckets);
+}
+
+void
+EventTimeline::eventPrefetchTallies(
+    std::size_t event_idx,
+    std::vector<std::pair<std::string, std::uint64_t>> tallies)
+{
+    if (!events_.empty() && events_.back().index == event_idx)
+        events_.back().prefetches = std::move(tallies);
+}
+
+void
 EventTimeline::recordStall(TimelineStall kind, Cycle start, Cycle dur)
 {
     StallSpan span;
@@ -96,11 +114,12 @@ EventTimeline::setRunInfo(const std::string &config_name,
 namespace
 {
 
-/** Trace rows: one pid, three named tids. */
+/** Trace rows: one pid, four named tids. */
 constexpr int tracePid = 1;
 constexpr int tidEvents = 1;
 constexpr int tidStalls = 2;
 constexpr int tidEsp = 3;
+constexpr int tidAccounting = 4;
 
 void
 metadataRecord(JsonWriter &w, const char *name, int tid,
@@ -141,6 +160,7 @@ EventTimeline::renderChromeTrace() const
     metadataRecord(w, "thread_name", tidEvents, "events");
     metadataRecord(w, "thread_name", tidStalls, "stalls");
     metadataRecord(w, "thread_name", tidEsp, "esp pre-execution");
+    metadataRecord(w, "thread_name", tidAccounting, "cycle accounting");
 
     for (const EventSpan &ev : events_) {
         // The full event span: queue-head to retire.
@@ -162,8 +182,37 @@ EventTimeline::renderChromeTrace() const
                 .value(std::uint64_t{ev.stallCycles[k]});
         }
         w.endObject();
+        if (!ev.cycleBuckets.empty()) {
+            w.key("cycle_buckets").beginObject();
+            for (const auto &[name, cycles] : ev.cycleBuckets)
+                w.key(name).value(std::uint64_t{cycles});
+            w.endObject();
+        }
+        if (!ev.prefetches.empty()) {
+            w.key("prefetches").beginObject();
+            for (const auto &[name, count] : ev.prefetches)
+                w.key(name).value(std::uint64_t{count});
+            w.endObject();
+        }
         w.endObject();
         w.endObject();
+
+        // Counter track: the event's cycle-accounting breakdown as a
+        // stacked Perfetto counter sampled at dispatch time.
+        if (!ev.cycleBuckets.empty()) {
+            w.beginObject();
+            w.key("name").value("cycle buckets");
+            w.key("cat").value("accounting");
+            w.key("ph").value("C");
+            w.key("ts").value(std::uint64_t{ev.queued});
+            w.key("pid").value(tracePid);
+            w.key("tid").value(tidAccounting);
+            w.key("args").beginObject();
+            for (const auto &[name, cycles] : ev.cycleBuckets)
+                w.key(name).value(std::uint64_t{cycles});
+            w.endObject();
+            w.endObject();
+        }
 
         // Nested execute slice: dispatch to retire (the looper-gap
         // prefix of the outer slice is the queue/dequeue overhead).

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -60,6 +61,20 @@ class EventTimeline
     void eventRetired(std::size_t event_idx, Cycle now,
                       InstCount instructions);
 
+    /**
+     * Attach this event's cycle-accounting bucket deltas (name, cycle
+     * pairs). Exported both as Perfetto counter tracks and as args on
+     * the event slice, so stalls are explained visually.
+     */
+    void eventCycleBuckets(
+        std::size_t event_idx,
+        std::vector<std::pair<std::string, Cycle>> buckets);
+
+    /** Attach this event's prefetch-issue tallies by source. */
+    void eventPrefetchTallies(
+        std::size_t event_idx,
+        std::vector<std::pair<std::string, std::uint64_t>> tallies);
+
     /** One stall of @p kind, @p dur cycles starting at @p start. */
     void recordStall(TimelineStall kind, Cycle start, Cycle dur);
 
@@ -95,6 +110,8 @@ class EventTimeline
         Cycle stallCycles[5] = {0, 0, 0, 0, 0}; //!< per TimelineStall
         std::uint32_t stallCount = 0;
         std::uint32_t espWindows = 0;
+        std::vector<std::pair<std::string, Cycle>> cycleBuckets;
+        std::vector<std::pair<std::string, std::uint64_t>> prefetches;
     };
 
     struct StallSpan

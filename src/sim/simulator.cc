@@ -1,6 +1,10 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "cpu/runahead.hh"
 #include "esp/controller.hh"
@@ -77,6 +81,76 @@ Simulator::run(const Workload &workload, EventTimeline *timeline) const
     }
 
     core.run(workload);
+    // Score still-unused prefetched blocks (useless) before snapshot.
+    mem.finalizePrefetchLifecycles();
+
+    // Per-event-type cycle attribution: register the top handlers by
+    // cycles spent (bounded so artifacts stay small), aggregating the
+    // tail under "other". Values are copied — the map outlives only
+    // this function via these captures.
+    {
+        const auto &acct = core.stats().handlerAccounting;
+        std::vector<std::pair<std::uint32_t, Cycle>> ranked;
+        ranked.reserve(acct.size());
+        for (const auto &[handler, ha] : acct)
+            ranked.emplace_back(handler, ha.cycles());
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second
+                          ? a.second > b.second
+                          : a.first < b.first;
+                  });
+        constexpr std::size_t maxHandlersReported = 8;
+        CycleBucketArray other{};
+        std::uint64_t other_events = 0;
+        Cycle other_cycles = 0;
+        for (std::size_t r = 0; r < ranked.size(); ++r) {
+            const HandlerAccounting &ha = acct.at(ranked[r].first);
+            if (r < maxHandlersReported) {
+                const std::string base = "core.handler." +
+                    std::to_string(ranked[r].first) + ".";
+                reg.registerDerived(base + "events",
+                                    [v = ha.events] {
+                                        return static_cast<double>(v);
+                                    });
+                reg.registerDerived(base + "cycles",
+                                    [v = ha.cycles()] {
+                                        return static_cast<double>(v);
+                                    });
+                for (unsigned b = 0; b < numCycleBuckets; ++b) {
+                    reg.registerDerived(
+                        base + "cycle_bucket." +
+                            cycleBucketName(
+                                static_cast<CycleBucket>(b)),
+                        [v = ha.buckets[b]] {
+                            return static_cast<double>(v);
+                        });
+                }
+            } else {
+                other_events += ha.events;
+                other_cycles += ha.cycles();
+                for (unsigned b = 0; b < numCycleBuckets; ++b)
+                    other[b] += ha.buckets[b];
+            }
+        }
+        if (ranked.size() > maxHandlersReported) {
+            reg.registerDerived("core.handler.other.events",
+                                [v = other_events] {
+                                    return static_cast<double>(v);
+                                });
+            reg.registerDerived("core.handler.other.cycles",
+                                [v = other_cycles] {
+                                    return static_cast<double>(v);
+                                });
+            for (unsigned b = 0; b < numCycleBuckets; ++b) {
+                reg.registerDerived(
+                    "core.handler.other.cycle_bucket." +
+                        std::string(cycleBucketName(
+                            static_cast<CycleBucket>(b))),
+                    [v = other[b]] { return static_cast<double>(v); });
+            }
+        }
+    }
 
     SimResult result;
     result.configName = config_.name;

@@ -37,10 +37,11 @@ class RecordingHooks : public CoreHooks
     std::vector<StallContext> stalls;
     std::vector<std::size_t> eventStarts;
 
-    void
+    Cycle
     onStall(const StallContext &ctx) override
     {
         stalls.push_back(ctx);
+        return 0;
     }
 
     void

@@ -378,11 +378,20 @@ TEST(Timeline, RecordsEventsAndExportsValidChromeTrace)
     std::size_t event_slices = 0;
     std::size_t esp_slices = 0;
     std::size_t meta_records = 0;
+    std::size_t counter_records = 0;
     double last_event_ts = -1.0;
     for (const JsonValue &e : events.array) {
         const std::string &ph = e.at("ph").string;
         if (ph == "M") {
             ++meta_records;
+            continue;
+        }
+        if (ph == "C") {
+            // Cycle-accounting counter track: one sample per event,
+            // with at least one named bucket.
+            ++counter_records;
+            EXPECT_EQ(e.at("name").string, "cycle buckets");
+            EXPECT_GT(e.at("args").object.size(), 0u);
             continue;
         }
         ASSERT_EQ(ph, "X");
@@ -399,9 +408,10 @@ TEST(Timeline, RecordsEventsAndExportsValidChromeTrace)
         if (name.rfind("ESP-", 0) == 0)
             ++esp_slices;
     }
-    EXPECT_GE(meta_records, 4u); // process + three thread names
+    EXPECT_GE(meta_records, 5u); // process + four thread names
     EXPECT_EQ(event_slices, workload->numEvents());
     EXPECT_EQ(esp_slices, timeline.numEspWindows());
+    EXPECT_EQ(counter_records, workload->numEvents());
 }
 
 TEST(Timeline, BaselineRunHasNoEspWindows)

@@ -8,11 +8,16 @@
  *   espsim suite --configs base,NL,ESP+NL [--jobs N] [--apps a,b]
  *                [--json [path]] [--csv [path]]
  *   espsim gen   --app gmaps --out gmaps.espw [--events N]
+ *   espsim diff  baseline.json candidate.json [--rel-tol F]
+ *                [--abs-tol F] [--headline a,b] [--max-rows N]
+ *                [--ignore-config-hash]
  *   espsim list  (apps and configs)
  *   espsim --version
  *
  * Tables and results print to stdout; run chatter (manifest, artifact
  * notes) goes to stderr. Exit code 0 on success, 1 on usage errors.
+ * `espsim diff` exits 0 when the artifacts agree within tolerance,
+ * 1 on a headline regression or config mismatch, 2 on load failure.
  */
 
 #include <cstdio>
@@ -28,6 +33,7 @@
 #include "common/table.hh"
 #include "common/version.hh"
 #include "report/artifact.hh"
+#include "report/diff.hh"
 #include "report/timeline.hh"
 #include "sim/stats_report.hh"
 #include "trace/trace_io.hh"
@@ -66,6 +72,10 @@ usage()
         "  espsim suite [--configs a,b,c] [--apps a,b] [--jobs N] "
         "[--json [path]] [--csv [path]]\n"
         "  espsim gen   --app <name> --out <file> [--events N]\n"
+        "  espsim diff  <baseline.json> <candidate.json> "
+        "[--rel-tol F] [--abs-tol F]\n"
+        "               [--headline a,b,c] [--max-rows N] "
+        "[--ignore-config-hash]\n"
         "  espsim list\n"
         "  espsim --version");
     return 1;
@@ -311,6 +321,58 @@ cmdGen(const std::map<std::string, std::string> &flags)
     return 0;
 }
 
+/**
+ * `espsim diff` parses argv itself: the shared parseFlags drops
+ * positional arguments, and the two artifact paths are positional.
+ */
+int
+cmdDiff(int argc, char **argv)
+{
+    DiffOptions opts;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            paths.push_back(arg);
+            continue;
+        }
+        auto value = [&i, argc, argv]() -> std::string {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "--rel-tol") {
+            opts.relTol = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--abs-tol") {
+            opts.absTol = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--headline-rel-tol") {
+            opts.headlineRelTol = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--max-rows") {
+            opts.maxRows = static_cast<std::size_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--headline") {
+            opts.headlineStats.clear();
+            std::stringstream ss(value());
+            std::string token;
+            while (std::getline(ss, token, ','))
+                opts.headlineStats.push_back(token);
+        } else if (arg == "--ignore-config-hash") {
+            opts.ignoreConfigHash = true;
+        } else {
+            std::fprintf(stderr, "unknown diff flag '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+
+    const DiffResult res =
+        diffSuiteArtifactFiles(paths[0], paths[1], opts);
+    const std::string report = renderDiffReport(res, opts);
+    std::fputs(report.c_str(),
+               res.exitCode() == 2 ? stderr : stdout);
+    return res.exitCode();
+}
+
 } // namespace
 
 int
@@ -324,6 +386,8 @@ main(int argc, char **argv)
                     buildTypeString());
         return 0;
     }
+    if (cmd == "diff")
+        return cmdDiff(argc, argv);
     const auto flags = parseFlags(argc, argv, 2);
     if (cmd == "list")
         return cmdList();

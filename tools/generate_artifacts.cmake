@@ -1,6 +1,8 @@
-# Produce the artifacts the artifact_validate ctest checks: a reduced
-# suite sweep (one app, two configs) and a per-event timeline, both via
-# the espsim CLI. Invoked as:
+# Produce the artifacts the artifact_validate / diff ctests check: a
+# reduced suite sweep (one app, two configs), a per-event timeline,
+# the same sweep at --jobs 1 and --jobs 8 (the determinism gate diffs
+# them), and the golden-gate candidate sweep, all via the espsim CLI.
+# Invoked as:
 #   cmake -DESPSIM_CLI=<path> -DARTIFACT_DIR=<dir> -P this-file
 
 file(MAKE_DIRECTORY ${ARTIFACT_DIR})
@@ -11,6 +13,24 @@ execute_process(
     RESULT_VARIABLE suite_rc)
 if(NOT suite_rc EQUAL 0)
     message(FATAL_ERROR "espsim suite failed (${suite_rc})")
+endif()
+
+# The thread-pool sweep promises artifacts byte-identical at any
+# --jobs count; espsim diff (exact tolerance) enforces it.
+execute_process(
+    COMMAND ${ESPSIM_CLI} suite --apps amazon,bing --configs base,ESP+NL
+        --jobs 1 --json ${ARTIFACT_DIR}/suite_jobs1.json
+    RESULT_VARIABLE jobs1_rc)
+if(NOT jobs1_rc EQUAL 0)
+    message(FATAL_ERROR "espsim suite --jobs 1 failed (${jobs1_rc})")
+endif()
+
+execute_process(
+    COMMAND ${ESPSIM_CLI} suite --apps amazon,bing --configs base,ESP+NL
+        --jobs 8 --json ${ARTIFACT_DIR}/suite_jobs8.json
+    RESULT_VARIABLE jobs8_rc)
+if(NOT jobs8_rc EQUAL 0)
+    message(FATAL_ERROR "espsim suite --jobs 8 failed (${jobs8_rc})")
 endif()
 
 execute_process(

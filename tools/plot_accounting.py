@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Render the cycle-accounting breakdown from a suite artifact.
+
+Reads an `espsim-suite-artifact` JSON file (espsim suite --json) and
+prints, for each app and config, the core's top-down cycle breakdown:
+what fraction of total cycles went to retiring work, frontend bubbles,
+I-cache misses, D-cache misses, LSQ pressure, mispredict redirects,
+end-of-event drain, looper overhead, and the two speculation engines
+(ESP pre-execution, runahead). This is the textual equivalent of the
+paper's stacked per-app breakdown figures (Figs. 4-5): the bars that
+show *where* the event-loop time goes and which component a technique
+actually shrank.
+
+Standard library only, so it runs anywhere the repo builds.
+
+Usage:
+    plot_accounting.py SUITE.json [--config NAME] [--app NAME]
+
+Exit code 0 on success, 1 on a malformed artifact or when the stats
+carry no `core.cycle_bucket.*` entries (artifact predates cycle
+accounting).
+"""
+
+import argparse
+import json
+import sys
+
+BUCKET_PREFIX = "core.cycle_bucket."
+
+# Print order: useful work first, then stall causes, then overheads
+# and speculation engines (mirrors the attributor's enum order).
+BUCKET_ORDER = [
+    "retiring",
+    "frontend_bubble",
+    "icache_miss",
+    "dcache_miss",
+    "lsq_full",
+    "mispredict_redirect",
+    "drain",
+    "looper_overhead",
+    "esp_pre_exec",
+    "runahead",
+]
+
+BAR_WIDTH = 40
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "espsim-suite-artifact":
+        raise ValueError(f"{path}: not an espsim-suite-artifact")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        raise ValueError(f"{path}: missing results array")
+    return results
+
+
+def buckets_of(stats):
+    out = {}
+    for name, value in stats.items():
+        if name.startswith(BUCKET_PREFIX) and isinstance(
+                value, (int, float)):
+            out[name[len(BUCKET_PREFIX):]] = float(value)
+    return out
+
+
+def ordered(buckets):
+    """Known buckets in canonical order, then unknowns alphabetically."""
+    names = [b for b in BUCKET_ORDER if b in buckets]
+    names += sorted(b for b in buckets if b not in BUCKET_ORDER)
+    return names
+
+
+def render_point(app, config, stats):
+    buckets = buckets_of(stats)
+    if not buckets:
+        return False
+    total = stats.get("core.cycles", 0.0) or sum(buckets.values())
+    print(f"{app} / {config}: {int(total)} cycles")
+    for name in ordered(buckets):
+        cycles = buckets[name]
+        frac = cycles / total if total else 0.0
+        bar = "#" * round(frac * BAR_WIDTH)
+        print(f"  {name:<20} {cycles:>12.0f}  {100 * frac:6.2f}%  {bar}")
+    residue = total - sum(buckets.values())
+    if abs(residue) > 0.5:
+        # The simulator asserts this never happens; seeing it here
+        # means the artifact was edited or mixed across versions.
+        print(f"  (unaccounted residue: {residue:+.0f} cycles)")
+    print()
+    return True
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="cycle-accounting breakdown from a suite artifact")
+    parser.add_argument("artifact")
+    parser.add_argument("--config", help="only this config column")
+    parser.add_argument("--app", help="only this app row")
+    args = parser.parse_args(argv)
+
+    try:
+        results = load_results(args.artifact)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    plotted = 0
+    for entry in results:
+        app = entry.get("app", "?")
+        config = entry.get("config", "?")
+        if args.config and config != args.config:
+            continue
+        if args.app and app != args.app:
+            continue
+        if render_point(app, config, entry.get("stats", {})):
+            plotted += 1
+
+    if plotted == 0:
+        print("error: no core.cycle_bucket.* stats found "
+              "(artifact predates cycle accounting, or filters "
+              "matched nothing)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

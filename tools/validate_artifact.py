@@ -122,8 +122,22 @@ def validate_timeline(doc, problems):
         phase = event.get("ph")
         if phase == "M":
             continue
+        if phase == "C":
+            # Counter sample (cycle-accounting track): numeric series
+            # in args, no duration.
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                _fail(problems, f"{where} counter lacks args")
+            elif not all(isinstance(v, (int, float))
+                         for v in args.values()):
+                _fail(problems, f"{where} counter args not numeric")
+            for key in ("name", "ts", "pid", "tid"):
+                if key not in event:
+                    _fail(problems, f"{where} lacks {key!r}")
+            continue
         if phase != "X":
-            _fail(problems, f"{where}.ph is {phase!r}, expected X or M")
+            _fail(problems,
+                  f"{where}.ph is {phase!r}, expected X, C or M")
             continue
         for key in ("name", "ts", "dur", "pid", "tid"):
             if key not in event:
