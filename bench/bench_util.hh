@@ -47,7 +47,15 @@ jobsFromArgs(int argc, char **argv)
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") != 0)
             continue;
-        const long v = std::strtol(argv[i + 1], nullptr, 10);
+        char *end = nullptr;
+        const long v = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0') {
+            std::fprintf(stderr,
+                         "invalid value '%s' for --jobs (expected a "
+                         "positive integer)\n",
+                         argv[i + 1]);
+            std::exit(2);
+        }
         return v >= 1 ? static_cast<unsigned>(v) : 1;
     }
     return 0;
@@ -209,8 +217,11 @@ printFigure(const std::string &title,
     for (const SuiteRow &row : rows) {
         cells.clear();
         cells.push_back(row.app);
-        for (std::size_t c = cfg_from; c < configs.size(); ++c)
-            cells.push_back(TextTable::num(metric(row, c), precision));
+        for (std::size_t c = cfg_from; c < configs.size(); ++c) {
+            cells.push_back(row.ok(c) ? TextTable::num(metric(row, c),
+                                                       precision)
+                                      : "ERR");
+        }
         table.row(cells);
     }
 
@@ -220,8 +231,10 @@ printFigure(const std::string &title,
     values.reserve(rows.size());
     for (std::size_t c = cfg_from; c < configs.size(); ++c) {
         values.clear();
-        for (const SuiteRow &row : rows)
-            values.push_back(metric(row, c));
+        for (const SuiteRow &row : rows) {
+            if (row.ok(c)) // error cells drop out of the aggregate
+                values.push_back(metric(row, c));
+        }
         const double m =
             hmean ? harmonicMean(values) : arithmeticMean(values);
         agg.push_back(TextTable::num(m, precision));
@@ -264,9 +277,12 @@ printImprovementFigure(const std::string &title,
     for (const SuiteRow &row : rows) {
         cells.clear();
         cells.push_back(row.app);
-        for (std::size_t c = cfg_from; c < configs.size(); ++c)
+        for (std::size_t c = cfg_from; c < configs.size(); ++c) {
             cells.push_back(
-                TextTable::num(improvementOverRef(row, c, ref), 1));
+                row.ok(c) && row.ok(ref)
+                    ? TextTable::num(improvementOverRef(row, c, ref), 1)
+                    : "ERR");
+        }
         table.row(cells);
     }
     std::vector<std::string> agg{"HMean"};

@@ -145,4 +145,15 @@ SetAssocCache::population() const
     return n;
 }
 
+std::size_t
+SetAssocCache::dirtyPopulation() const
+{
+    std::size_t n = 0;
+    for (const Line &line : lines_) {
+        if (line.valid && line.dirty)
+            ++n;
+    }
+    return n;
+}
+
 } // namespace espsim

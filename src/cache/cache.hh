@@ -73,6 +73,13 @@ class SetAssocCache
     /** Number of valid blocks currently cached. */
     std::size_t population() const;
 
+    /**
+     * Number of valid *dirty* blocks. Speculative (cachelet) stores
+     * must never dirty the architectural L1/L2 (paper §3.4); the fuzz
+     * harness asserts this via before/after snapshots.
+     */
+    std::size_t dirtyPopulation() const;
+
     // Demand-access statistics (prefetch fills are not counted here).
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t hits() const { return hits_; }

@@ -54,15 +54,31 @@ SampleStat::percentile(double pct) const
 double
 harmonicMean(const std::vector<double> &values)
 {
+    // The harmonic mean is only defined over positive values. A
+    // degraded sweep can legally feed a zero (or negative) speedup
+    // cell into an aggregate row; panicking here used to crash every
+    // figure binary on such a cell. Instead, skip-with-warn: exclude
+    // the offending values (counting them) and aggregate the rest.
     if (values.empty())
         return 0.0;
     double denom = 0.0;
+    std::size_t included = 0;
+    std::size_t excluded = 0;
     for (double v : values) {
-        if (v <= 0.0)
-            panic("harmonicMean requires positive values (got %f)", v);
+        if (v <= 0.0) {
+            ++excluded;
+            continue;
+        }
         denom += 1.0 / v;
+        ++included;
     }
-    return static_cast<double>(values.size()) / denom;
+    if (excluded > 0) {
+        warn("harmonicMean: excluded %zu non-positive value%s of %zu",
+             excluded, excluded == 1 ? "" : "s", values.size());
+    }
+    if (included == 0)
+        return 0.0; // all excluded: degraded aggregate, not a crash
+    return static_cast<double>(included) / denom;
 }
 
 double

@@ -41,7 +41,12 @@ class SampleStat
     void ensureSorted() const;
 };
 
-/** Harmonic mean of a vector of positive values (paper uses HMean). */
+/**
+ * Harmonic mean of a vector of positive values (paper uses HMean).
+ * Non-positive values are excluded with a warn() naming the count (a
+ * degraded error cell must not crash a whole figure); returns 0 when
+ * the input is empty or every value was excluded.
+ */
 double harmonicMean(const std::vector<double> &values);
 
 /** Arithmetic mean of a vector of values. */

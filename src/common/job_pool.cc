@@ -20,11 +20,18 @@ JobPool::JobPool(unsigned threads)
 
 JobPool::~JobPool()
 {
-    if (workers_.empty())
-        return;
-    wait();
+    drain();
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (firstError_) {
+            // Can't rethrow from a destructor; the caller skipped the
+            // wait() that would have surfaced this.
+            warn("JobPool destroyed with an unretrieved job exception "
+                 "(call wait() to propagate it)");
+            firstError_ = nullptr;
+        }
+        if (workers_.empty())
+            return;
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -33,10 +40,58 @@ JobPool::~JobPool()
 }
 
 void
+JobPool::setSoftTimeout(std::chrono::milliseconds timeout)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    softTimeout_ = timeout;
+}
+
+std::size_t
+JobPool::droppedExceptions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return droppedErrors_;
+}
+
+void
+JobPool::runGuarded(std::function<void()> &job)
+{
+    std::chrono::milliseconds timeout{0};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        timeout = softTimeout_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::exception_ptr error;
+    try {
+        job();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    if (timeout.count() > 0 && elapsed > timeout) {
+        warn("job ran %lld ms, exceeding the %lld ms soft timeout",
+             static_cast<long long>(elapsed.count()),
+             static_cast<long long>(timeout.count()));
+    }
+    if (error) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (firstError_)
+            ++droppedErrors_;
+        else
+            firstError_ = error;
+    }
+}
+
+void
 JobPool::submit(std::function<void()> job)
 {
     if (workers_.empty()) {
-        job(); // jobs=1: execute in submission order, old serial path
+        // jobs=1: execute in submission order, old serial path — but
+        // under the same exception contract as the threaded pool.
+        runGuarded(job);
         return;
     }
     {
@@ -47,13 +102,27 @@ JobPool::submit(std::function<void()> job)
 }
 
 void
-JobPool::wait()
+JobPool::drain()
 {
     if (workers_.empty())
         return;
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock,
                   [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+void
+JobPool::wait()
+{
+    drain();
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -71,7 +140,7 @@ JobPool::workerLoop()
             queue_.pop_front();
             ++inflight_;
         }
-        job();
+        runGuarded(job);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --inflight_;

@@ -81,6 +81,9 @@ OoOCore::registerStats(StatRegistry &reg,
                        &stats_.lsqStallCycles);
     reg.registerScalar(prefix + "stall_windows",
                        &stats_.stallWindows);
+    reg.registerDerived(prefix + "stride.dropped_wraps", [this] {
+        return static_cast<double>(strideData_.droppedWraps());
+    });
     reg.registerDerived(prefix + "ipc",
                         [this] { return stats_.ipc(); });
     for (unsigned b = 0; b < numCycleBuckets; ++b) {

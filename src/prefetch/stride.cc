@@ -46,12 +46,23 @@ StridePrefetcher::notifyAccess(MemoryHierarchy &mem, Addr pc, Addr addr,
     e.lastAddr = addr;
     if (e.confidence >= 2) {
         for (unsigned d = 1; d <= degree_; ++d) {
-            const auto target = static_cast<std::int64_t>(addr) +
-                static_cast<std::int64_t>(d) * e.stride;
-            if (target > 0) {
-                mem.prefetchData(static_cast<Addr>(target), now,
-                                 PrefetchSource::StrideData);
+            // Unsigned block arithmetic: the target wraps mod 2^64, so
+            // an address-space overrun in either direction shows up as
+            // the target landing on the wrong side of addr. Such
+            // prefetches used to be dropped silently (as was block 0
+            // on a down-counting stream), quietly deflating the
+            // lifecycle tracker's coverage denominator; now they are
+            // counted so accuracy/coverage stay honest.
+            const Addr target = addr +
+                static_cast<Addr>(d) *
+                    static_cast<Addr>(e.stride);
+            const bool wrapped = e.stride < 0 ? target > addr
+                                              : target < addr;
+            if (wrapped) {
+                ++droppedWraps_;
+                continue;
             }
+            mem.prefetchData(target, now, PrefetchSource::StrideData);
         }
     }
 }

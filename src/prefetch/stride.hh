@@ -35,6 +35,13 @@ class StridePrefetcher
     /** Confident entries currently held (for tests). */
     std::size_t confidentEntries() const;
 
+    /**
+     * Prefetch targets dropped because the stride walked off either
+     * end of the address space (unsigned wrap). Exported as the
+     * `stride.dropped_wraps` stat.
+     */
+    std::uint64_t droppedWraps() const { return droppedWraps_; }
+
   private:
     struct Entry
     {
@@ -47,6 +54,7 @@ class StridePrefetcher
 
     std::vector<Entry> table_;
     unsigned degree_;
+    std::uint64_t droppedWraps_ = 0;
 
     std::size_t indexOf(Addr pc) const;
     std::uint32_t tagOf(Addr pc) const;

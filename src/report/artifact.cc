@@ -197,6 +197,8 @@ renderSuiteArtifactJson(const ArtifactManifest &manifest,
     for (const SuiteRow &row : rows) {
         for (std::size_t c = 0;
              c < configs.size() && c < row.results.size(); ++c) {
+            if (!row.ok(c))
+                continue; // failed cells live in the errors block
             const SimResult &r = row.results[c];
             w.beginObject();
             w.key("app").value(row.app);
@@ -209,6 +211,26 @@ renderSuiteArtifactJson(const ArtifactManifest &manifest,
         }
     }
     w.endArray();
+    // Failed cells: the block is emitted only when a cell failed, so
+    // clean artifacts stay byte-identical to the pre-error-cell
+    // format (and to golden baselines).
+    if (suiteHasErrors(rows)) {
+        w.key("errors").beginArray();
+        for (const SuiteRow &row : rows) {
+            for (std::size_t c = 0;
+                 c < configs.size() && c < row.errors.size(); ++c) {
+                if (row.ok(c))
+                    continue;
+                w.beginObject();
+                w.key("app").value(row.app);
+                w.key("config").value(configs[c].name);
+                w.key("config_hash").value(row.errors[c].configHash);
+                w.key("message").value(row.errors[c].message);
+                w.endObject();
+            }
+        }
+        w.endArray();
+    }
     w.endObject();
     return w.str();
 }
@@ -226,10 +248,21 @@ renderSuiteArtifactCsv(const ArtifactManifest &manifest,
     out += std::string("# tool_version=") +
         versionOr(manifest.toolVersion, versionString()) + "\n";
     out += "# config_hash=" + configsHash(configs) + "\n";
+    for (const SuiteRow &row : rows) {
+        for (std::size_t c = 0;
+             c < configs.size() && c < row.errors.size(); ++c) {
+            if (!row.ok(c)) {
+                out += "# error " + row.app + "," + configs[c].name +
+                    ": " + row.errors[c].message + "\n";
+            }
+        }
+    }
     out += "app,config,stat,value\n";
     for (const SuiteRow &row : rows) {
         for (std::size_t c = 0;
              c < configs.size() && c < row.results.size(); ++c) {
+            if (!row.ok(c))
+                continue;
             const SimResult &r = row.results[c];
             for (const auto &[name, value] : r.stats.values()) {
                 out += row.app;

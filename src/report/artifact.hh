@@ -15,6 +15,12 @@
  * (jobs, wall time) are therefore *not* embedded in the artifact; they
  * are printed to stderr as the run manifest instead (see
  * docs/OBSERVABILITY.md).
+ *
+ * Failed sweep cells (see CellError) are reported in a top-level
+ * `errors` array — one `{app, config, config_hash, message}` entry
+ * per failed cell — and omitted from `results`. The block is absent
+ * when every cell succeeded, so clean artifacts are unchanged. See
+ * docs/ROBUSTNESS.md.
  */
 
 #ifndef ESPSIM_REPORT_ARTIFACT_HH

@@ -32,6 +32,8 @@ namespace
 using PointKey = std::pair<std::string, std::string>;
 using StatMap = std::map<std::string, double>;
 using PointMap = std::map<PointKey, StatMap>;
+/** (app, config) → error message from the artifact's errors block. */
+using ErrorMap = std::map<PointKey, std::string>;
 
 /**
  * Extract the comparable content of one suite artifact. Returns false
@@ -39,7 +41,7 @@ using PointMap = std::map<PointKey, StatMap>;
  * JSON null stat values (NaN serialized) load as quiet NaN.
  */
 bool
-loadArtifact(const JsonValue &root, PointMap &points,
+loadArtifact(const JsonValue &root, PointMap &points, ErrorMap &errors,
              std::string &configHash, std::string &error)
 {
     const JsonValue *schema = root.find("schema");
@@ -69,6 +71,22 @@ loadArtifact(const JsonValue &root, PointMap &points,
             dst[name] = value.isNull()
                 ? std::numeric_limits<double>::quiet_NaN()
                 : value.number;
+        }
+    }
+    // Optional errors block: cells that failed instead of producing
+    // stats (fault-tolerant sweeps, docs/ROBUSTNESS.md).
+    if (const JsonValue *errs = root.find("errors");
+        errs && errs->isArray()) {
+        for (const JsonValue &entry : errs->array) {
+            const JsonValue *app = entry.find("app");
+            const JsonValue *config = entry.find("config");
+            const JsonValue *message = entry.find("message");
+            if (!app || !config) {
+                error = "malformed errors entry";
+                return false;
+            }
+            errors[{app->string, config->string}] =
+                message ? message->string : "unknown error";
         }
     }
     return true;
@@ -160,18 +178,23 @@ diffSuiteArtifacts(const JsonValue &baseline, const JsonValue &candidate,
 {
     DiffResult res;
     PointMap basePoints, candPoints;
+    ErrorMap baseErrors, candErrors;
     std::string baseHash, candHash;
-    if (!loadArtifact(baseline, basePoints, baseHash, res.error)) {
+    if (!loadArtifact(baseline, basePoints, baseErrors, baseHash,
+                      res.error)) {
         res.error = "baseline: " + res.error;
         return res;
     }
-    if (!loadArtifact(candidate, candPoints, candHash, res.error)) {
+    if (!loadArtifact(candidate, candPoints, candErrors, candHash,
+                      res.error)) {
         res.error = "candidate: " + res.error;
         return res;
     }
     res.loaded = true;
     res.configHashMatch =
         opts.ignoreConfigHash || baseHash == candHash;
+    res.baselineErrorCells = baseErrors.size();
+    res.candidateErrorCells = candErrors.size();
 
     const double headlineRel =
         opts.headlineRelTol >= 0.0 ? opts.headlineRelTol : opts.relTol;
@@ -189,9 +212,31 @@ diffSuiteArtifacts(const JsonValue &baseline, const JsonValue &candidate,
             d.onlyInBaseline = true;
             d.headline = true;
             d.relDrift = -std::numeric_limits<double>::infinity();
+            // The candidate's errors block explains why the point is
+            // missing; surface the cell's message in the report.
+            if (const auto eit = candErrors.find(key);
+                eit != candErrors.end())
+                d.attribution = "error: " + eit->second;
             res.drifts.push_back(std::move(d));
             ++res.headlineRegressions;
         }
+    }
+    // Candidate error cells whose point the baseline results also
+    // lack (e.g. both sides degraded) would otherwise pass silently:
+    // an error cell in the candidate always fails the gate.
+    for (const auto &[key, message] : candErrors) {
+        if (basePoints.count(key) != 0)
+            continue; // already flagged as a missing point above
+        StatDrift d;
+        d.app = key.first;
+        d.config = key.second;
+        d.stat = "(error cell)";
+        d.headline = true;
+        d.relDrift = std::numeric_limits<double>::infinity();
+        d.onlyInCandidate = candPoints.count(key) == 0;
+        d.attribution = "error: " + message;
+        res.drifts.push_back(std::move(d));
+        ++res.headlineRegressions;
     }
     for (const auto &[key, stats] : candPoints) {
         (void)stats;
@@ -337,6 +382,13 @@ renderDiffReport(const DiffResult &result, const DiffOptions &opts)
                   result.pointsCompared, result.statsCompared,
                   result.drifts.size(), opts.relTol, opts.absTol);
     out += buf;
+    if (result.baselineErrorCells || result.candidateErrorCells) {
+        std::snprintf(buf, sizeof(buf),
+                      "error cells: %zu baseline, %zu candidate\n",
+                      result.baselineErrorCells,
+                      result.candidateErrorCells);
+        out += buf;
+    }
     if (!result.configHashMatch)
         out += "config hash MISMATCH: the artifacts describe "
                "different machines (pass --ignore-config-hash to "

@@ -13,8 +13,15 @@
  *
  * Exit-code contract (stable; CI depends on it):
  *   0 — artifacts agree within tolerance on every headline stat
- *   1 — headline regression, missing point, or config-hash mismatch
+ *   1 — headline regression, missing point, candidate error cell, or
+ *       config-hash mismatch
  *   2 — an input failed to load or parse
+ *
+ * Artifacts produced by a degraded sweep carry an `errors` block (see
+ * docs/ROBUSTNESS.md): a failed cell's stats are absent from
+ * `results`. The diff reads the block, annotates the corresponding
+ * missing-point drift with the cell's error message, and treats any
+ * candidate-side error cell as a gate failure.
  *
  * Build-environment manifest fields (`tool_version`, `build_type`)
  * are deliberately ignored: artifacts from different commits must be
@@ -89,6 +96,10 @@ struct DiffResult
     /** Beyond-tolerance drifts, ranked by |relDrift| descending. */
     std::vector<StatDrift> drifts;
     std::size_t headlineRegressions = 0;
+    /** Failed cells declared in each artifact's `errors` block. A
+     *  candidate error cell always fails the gate (exit 1). */
+    std::size_t baselineErrorCells = 0;
+    std::size_t candidateErrorCells = 0;
 
     /** The process exit code this result maps to (0, 1, or 2). */
     int exitCode() const;

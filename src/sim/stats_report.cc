@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 
 #include "common/job_pool.hh"
 #include "common/logging.hh"
+#include "report/artifact.hh"
 #include "workload/generator.hh"
 
 namespace espsim
@@ -27,7 +31,37 @@ struct AppSlot
     std::atomic<std::size_t> remaining{0};
 };
 
+/**
+ * Test hook: ESPSIM_FAULT_INJECT="app:config" (either side "*") makes
+ * the matching cells throw, exercising the ErrorCell degradation path
+ * end-to-end without a real model bug.
+ */
+bool
+faultInjected(const std::string &app, const std::string &config)
+{
+    const char *env = std::getenv("ESPSIM_FAULT_INJECT");
+    if (!env || !*env)
+        return false;
+    const std::string spec(env);
+    const std::size_t colon = spec.find(':');
+    const std::string want_app = spec.substr(0, colon);
+    const std::string want_cfg =
+        colon == std::string::npos ? "*" : spec.substr(colon + 1);
+    return (want_app == "*" || want_app == app) &&
+        (want_cfg == "*" || want_cfg == config);
+}
+
 } // namespace
+
+bool
+suiteHasErrors(const std::vector<SuiteRow> &rows)
+{
+    for (const SuiteRow &row : rows) {
+        if (row.hasErrors())
+            return true;
+    }
+    return false;
+}
 
 SuiteRunner::SuiteRunner(std::vector<AppProfile> apps)
     : apps_(std::move(apps))
@@ -49,6 +83,7 @@ SuiteRunner::run(const std::vector<SimConfig> &configs,
     for (std::size_t a = 0; a < n_apps; ++a) {
         rows[a].app = apps_[a].name;
         rows[a].results.resize(n_cfgs);
+        rows[a].errors.resize(n_cfgs);
         slots[a].remaining.store(n_cfgs, std::memory_order_relaxed);
     }
     if (points == 0)
@@ -67,15 +102,40 @@ SuiteRunner::run(const std::vector<SimConfig> &configs,
         for (std::size_t c = 0; c < n_cfgs; ++c) {
             pool.submit([&, a, c] {
                 AppSlot &slot = slots[a];
-                std::call_once(slot.once, [&] {
-                    slot.workload =
-                        SyntheticGenerator(apps_[a]).generate();
-                });
-                std::shared_ptr<const Workload> workload =
-                    slot.workload;
-                rows[a].results[c] =
-                    Simulator(configs[c]).run(*workload);
-                workload.reset();
+                // A throwing cell degrades to a CellError instead of
+                // aborting the sweep. (A std::call_once whose callable
+                // throws leaves the flag unset, so a later cell of the
+                // same app retries workload generation.)
+                try {
+                    if (faultInjected(apps_[a].name, configs[c].name)) {
+                        throw std::runtime_error(
+                            "injected fault (ESPSIM_FAULT_INJECT)");
+                    }
+                    std::call_once(slot.once, [&] {
+                        slot.workload =
+                            SyntheticGenerator(apps_[a]).generate();
+                    });
+                    std::shared_ptr<const Workload> workload =
+                        slot.workload;
+                    rows[a].results[c] =
+                        Simulator(configs[c]).run(*workload);
+                    workload.reset();
+                } catch (const std::exception &e) {
+                    rows[a].errors[c].message = e.what();
+                    rows[a].errors[c].configHash =
+                        configsHash({configs[c]});
+                    warn("suite cell (%s, %s) failed: %s",
+                         apps_[a].name.c_str(), configs[c].name.c_str(),
+                         e.what());
+                } catch (...) {
+                    rows[a].errors[c].message = "unknown exception";
+                    rows[a].errors[c].configHash =
+                        configsHash({configs[c]});
+                    warn("suite cell (%s, %s) failed: unknown "
+                         "exception",
+                         apps_[a].name.c_str(),
+                         configs[c].name.c_str());
+                }
                 // Last point of this app: free its workload now so a
                 // sweep never holds more live workloads than it needs.
                 if (slot.remaining.fetch_sub(
@@ -103,8 +163,11 @@ hmeanImprovementPct(const std::vector<SuiteRow> &rows, std::size_t cfg,
 {
     std::vector<double> speedups;
     speedups.reserve(rows.size());
-    for (const SuiteRow &row : rows)
-        speedups.push_back(row.results[cfg].speedupOver(row.results[ref]));
+    for (const SuiteRow &row : rows) {
+        if (row.ok(cfg) && row.ok(ref))
+            speedups.push_back(
+                row.results[cfg].speedupOver(row.results[ref]));
+    }
     return (harmonicMean(speedups) - 1.0) * 100.0;
 }
 

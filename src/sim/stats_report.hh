@@ -25,12 +25,52 @@
 namespace espsim
 {
 
+/**
+ * A failed (app, config) sweep cell. A throwing simulation no longer
+ * aborts the whole suite: the cell degrades to this record (the
+ * exception message plus the hash of the config that triggered it)
+ * and the run carries on. Tables print error cells as "ERROR!"; the
+ * JSON artifact collects them in its `errors` block; `espsim suite`
+ * exits non-zero when any cell failed.
+ */
+struct CellError
+{
+    std::string message;    //!< what() of the escaped exception
+    std::string configHash; //!< configsHash of the failing config
+};
+
 /** All configs' results for one application. */
 struct SuiteRow
 {
     std::string app;
     std::vector<SimResult> results; //!< index-aligned with configs
+    /**
+     * Index-aligned error cells; empty message = the cell succeeded.
+     * Empty vector (the common all-good case) means no cell failed.
+     */
+    std::vector<CellError> errors;
+
+    /** Did the cell for config index @p c produce a valid result? */
+    bool
+    ok(std::size_t c) const
+    {
+        return errors.empty() || errors[c].message.empty();
+    }
+
+    /** Any failed cell in this row? */
+    bool
+    hasErrors() const
+    {
+        for (const CellError &e : errors) {
+            if (!e.message.empty())
+                return true;
+        }
+        return false;
+    }
 };
+
+/** Any failed cell anywhere in the sweep? */
+bool suiteHasErrors(const std::vector<SuiteRow> &rows);
 
 /** Runs design-point sweeps across an application suite. */
 class SuiteRunner
@@ -57,6 +97,15 @@ class SuiteRunner
      * jobs (and released as soon as the app's last point completes,
      * keeping memory bounded). Results land in the same index order
      * regardless of thread count.
+     *
+     * Fault tolerance: a cell whose simulation (or workload
+     * generation) throws becomes a CellError in its row instead of
+     * taking down the sweep — every other cell still completes.
+     * Inspect with SuiteRow::ok() / suiteHasErrors().
+     *
+     * Fault injection (for tests): when the ESPSIM_FAULT_INJECT
+     * environment variable is set to "app:config" (either side may be
+     * "*"), the matching cells throw before simulating.
      */
     std::vector<SuiteRow> run(const std::vector<SimConfig> &configs,
                               bool announce_progress = false) const;
@@ -70,7 +119,8 @@ class SuiteRunner
  * Harmonic mean across apps of per-app percent improvement of config
  * @p cfg over config @p ref (both indices into each row's results).
  * The paper's HMean bars are harmonic means of per-app speedups; we
- * aggregate speedups harmonically then convert to percent.
+ * aggregate speedups harmonically then convert to percent. Rows whose
+ * cfg or ref cell errored are excluded from the aggregate.
  */
 double hmeanImprovementPct(const std::vector<SuiteRow> &rows,
                            std::size_t cfg, std::size_t ref);
@@ -78,7 +128,7 @@ double hmeanImprovementPct(const std::vector<SuiteRow> &rows,
 /**
  * Harmonic mean across apps of an arbitrary per-result metric.
  * Templated on the getter so per-cell std::function allocation never
- * happens in table-rendering loops.
+ * happens in table-rendering loops. Error cells are excluded.
  */
 template <typename Get>
 double
@@ -87,12 +137,15 @@ hmeanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
 {
     std::vector<double> values;
     values.reserve(rows.size());
-    for (const SuiteRow &row : rows)
-        values.push_back(get(row.results[cfg]));
+    for (const SuiteRow &row : rows) {
+        if (row.ok(cfg))
+            values.push_back(get(row.results[cfg]));
+    }
     return harmonicMean(values);
 }
 
-/** Arithmetic mean across apps of a per-result metric. */
+/** Arithmetic mean across apps of a per-result metric (error cells
+ *  excluded). */
 template <typename Get>
 double
 meanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
@@ -100,8 +153,10 @@ meanMetric(const std::vector<SuiteRow> &rows, std::size_t cfg,
 {
     std::vector<double> values;
     values.reserve(rows.size());
-    for (const SuiteRow &row : rows)
-        values.push_back(get(row.results[cfg]));
+    for (const SuiteRow &row : rows) {
+        if (row.ok(cfg))
+            values.push_back(get(row.results[cfg]));
+    }
     return arithmeticMean(values);
 }
 

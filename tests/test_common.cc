@@ -200,6 +200,20 @@ TEST(Means, HarmonicLeqArithmetic)
     EXPECT_LE(harmonicMean(v), arithmeticMean(v));
 }
 
+TEST(Means, HarmonicMeanSkipsNonPositiveValues)
+{
+    // A degraded sweep can feed zero/negative cells into an aggregate;
+    // these must be excluded with a warn, never panic.
+    EXPECT_DOUBLE_EQ(harmonicMean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({-3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({0.0, -1.0, 0.0}), 0.0);
+
+    // Excluded values do not count toward the mean's denominator.
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 0.0}), 2.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({4.0, -1.0, 4.0}), 4.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0, 0.0}), 4.0 / 3.0, 1e-12);
+}
+
 TEST(Table, RendersAlignedRows)
 {
     TextTable t("demo");

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the src/check/ property harness behind `espsim fuzz`:
+ * deterministic case generation, a clean case passing every oracle,
+ * and — via the env-gated fault injector — the failure path (oracle
+ * verdict, non-zero exit, shrinking).
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hh"
+
+using namespace espsim;
+
+TEST(Fuzz, CaseGenerationIsDeterministic)
+{
+    const FuzzCase a = makeFuzzCase(99);
+    const FuzzCase b = makeFuzzCase(99);
+    EXPECT_EQ(a.profile.seed, b.profile.seed);
+    EXPECT_EQ(a.profile.numEvents, b.profile.numEvents);
+    EXPECT_EQ(a.profile.avgEventLen, b.profile.avgEventLen);
+    EXPECT_EQ(a.config.name, b.config.name);
+
+    const FuzzCase c = makeFuzzCase(100);
+    EXPECT_TRUE(c.profile.seed != a.profile.seed ||
+                c.profile.numEvents != a.profile.numEvents ||
+                c.config.name != a.config.name);
+}
+
+TEST(Fuzz, CleanCasePassesEveryOracle)
+{
+    const FuzzFailure f = checkFuzzCase(makeFuzzCase(7));
+    EXPECT_FALSE(f.failed()) << f.oracle << ": " << f.message;
+}
+
+TEST(Fuzz, InjectedFaultTripsTheHarness)
+{
+    // The fuzz profile is named "fuzz", so the injector's wildcard
+    // form reaches every sweep cell the harness runs.
+    ::setenv("ESPSIM_FAULT_INJECT", "fuzz:*", 1);
+    const FuzzFailure f = checkFuzzCase(makeFuzzCase(7));
+    EXPECT_TRUE(f.failed());
+    EXPECT_EQ(f.oracle, "sweep-error");
+    EXPECT_NE(f.message.find("injected fault"), std::string::npos);
+
+    FuzzOptions opts;
+    opts.runs = 1;
+    opts.seed = 7;
+    EXPECT_EQ(runFuzz(opts), 1);
+
+    ::unsetenv("ESPSIM_FAULT_INJECT");
+    EXPECT_EQ(runFuzz(opts), 0);
+}
+
+TEST(Fuzz, ShrinkingKeepsTheFailureWhileReducingScale)
+{
+    ::setenv("ESPSIM_FAULT_INJECT", "fuzz:*", 1);
+    const FuzzCase c = makeFuzzCase(11);
+    const FuzzCase small = shrinkFuzzCase(c, "sweep-error");
+    // The shrunken point still fails the same oracle...
+    EXPECT_EQ(checkFuzzCase(small).oracle, "sweep-error");
+    // ...and is no larger than the original on every scale knob.
+    EXPECT_LE(small.profile.numEvents, c.profile.numEvents);
+    EXPECT_LE(small.profile.avgEventLen, c.profile.avgEventLen);
+    EXPECT_LE(small.profile.numHandlerTypes, c.profile.numHandlerTypes);
+    ::unsetenv("ESPSIM_FAULT_INJECT");
+}

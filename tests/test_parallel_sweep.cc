@@ -10,12 +10,16 @@
  */
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/job_pool.hh"
+#include "report/artifact.hh"
 #include "sim/stats_report.hh"
 #include "workload/lazy.hh"
 
@@ -209,4 +213,134 @@ TEST(ParallelSweep, LazyCacheStaysBoundedUnderConcurrency)
     // live window — nowhere near the 40 events generated.
     EXPECT_LE(shared.residentTraces(), 3 * 6);
     EXPECT_GE(shared.generations(), shared.numEvents());
+}
+
+TEST(JobPool, ThrowingJobPropagatesFromWait)
+{
+    // A throwing job must not terminate the process, deadlock wait(),
+    // or stop the other jobs from running.
+    JobPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&count, i] {
+            if (i == 7)
+                throw std::runtime_error("job 7 exploded");
+            ++count;
+        });
+    }
+    bool threw = false;
+    try {
+        pool.wait();
+    } catch (const std::runtime_error &e) {
+        threw = true;
+        EXPECT_STREQ(e.what(), "job 7 exploded");
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(count.load(), 31);
+
+    // The pool is clean and reusable after the rethrow.
+    pool.submit([&count] { ++count; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(JobPool, InlinePoolFollowsTheSameExceptionContract)
+{
+    JobPool pool(1);
+    std::atomic<int> count{0};
+    pool.submit([] { throw std::logic_error("inline boom"); });
+    pool.submit([&count] { ++count; }); // still runs
+    bool threw = false;
+    try {
+        pool.wait();
+    } catch (const std::logic_error &e) {
+        threw = true;
+        EXPECT_STREQ(e.what(), "inline boom");
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(count.load(), 1);
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(JobPool, LaterExceptionsAreCountedNotLost)
+{
+    JobPool pool(1); // inline: deterministic job order
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::runtime_error("second"); });
+    EXPECT_EQ(pool.droppedExceptions(), 1u);
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ParallelSweep, FaultInjectedCellDegradesToErrorCell)
+{
+    ::setenv("ESPSIM_FAULT_INJECT", "alpha:NL", 1);
+    SuiteRunner runner(twoAppSuite());
+    runner.setJobs(4);
+    const std::vector<SimConfig> configs{SimConfig::baseline(),
+                                         SimConfig::nextLine()};
+    const auto rows = runner.run(configs);
+    ::unsetenv("ESPSIM_FAULT_INJECT");
+
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_TRUE(suiteHasErrors(rows));
+
+    // Only the targeted cell failed; it carries message + config hash.
+    EXPECT_FALSE(rows[0].ok(1));
+    EXPECT_NE(rows[0].errors[1].message.find("injected fault"),
+              std::string::npos);
+    EXPECT_EQ(rows[0].errors[1].configHash.size(), 16u);
+
+    // Every other cell completed with a real result.
+    EXPECT_TRUE(rows[0].ok(0));
+    EXPECT_TRUE(rows[1].ok(0));
+    EXPECT_TRUE(rows[1].ok(1));
+    EXPECT_GT(rows[0].results[0].cycles, 0u);
+    EXPECT_GT(rows[1].results[1].cycles, 0u);
+
+    // Aggregates skip the failed cell instead of crashing on it.
+    const double agg = hmeanImprovementPct(rows, 1, 0);
+    EXPECT_TRUE(std::isfinite(agg));
+
+    // The artifact grows an errors block naming the failed cell.
+    ArtifactManifest manifest;
+    manifest.source = "test";
+    const std::string json =
+        renderSuiteArtifactJson(manifest, configs, rows);
+    EXPECT_NE(json.find("\"errors\""), std::string::npos);
+    EXPECT_NE(json.find("injected fault"), std::string::npos);
+}
+
+TEST(ParallelSweep, CleanSweepEmitsNoErrorsBlock)
+{
+    SuiteRunner runner(twoAppSuite());
+    runner.setJobs(2);
+    const std::vector<SimConfig> configs{SimConfig::baseline()};
+    const auto rows = runner.run(configs);
+    EXPECT_FALSE(suiteHasErrors(rows));
+    ArtifactManifest manifest;
+    manifest.source = "test";
+    const std::string json =
+        renderSuiteArtifactJson(manifest, configs, rows);
+    // Golden-baseline compatibility: clean artifacts carry no block.
+    EXPECT_EQ(json.find("\"errors\""), std::string::npos);
+}
+
+TEST(ParallelSweep, WildcardFaultInjectionHitsEveryCell)
+{
+    ::setenv("ESPSIM_FAULT_INJECT", "*:*", 1);
+    SuiteRunner runner(twoAppSuite());
+    runner.setJobs(1); // inline path degrades identically
+    const std::vector<SimConfig> configs{SimConfig::baseline(),
+                                         SimConfig::nextLine()};
+    const auto rows = runner.run(configs);
+    ::unsetenv("ESPSIM_FAULT_INJECT");
+    for (const SuiteRow &row : rows) {
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            EXPECT_FALSE(row.ok(c)) << row.app << "," << c;
+    }
 }

@@ -141,3 +141,41 @@ TEST(Stride, TagMismatchReallocates)
     sp.notifyAccess(mem, 0x1000 + 4 * 4 * 4, 0x90000, 0);
     EXPECT_LE(sp.confidentEntries(), confident_before);
 }
+
+TEST(Stride, DownCountingStreamNearZeroCountsDroppedWraps)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(256, 2); // degree 2 reaches past the wrap
+    const Addr pc = 0x1000;
+    // Descending 256 B stride starting 1 KB above address zero: once
+    // confident, the deeper prefetch target wraps below zero. The old
+    // signed arithmetic silently dropped these; now they are counted.
+    for (int i = 0; i < 4; ++i)
+        sp.notifyAccess(mem, pc, 0x400 - 256 * i, 0);
+    EXPECT_GE(sp.confidentEntries(), 1u);
+    EXPECT_GT(sp.droppedWraps(), 0u);
+}
+
+TEST(Stride, UpCountingStreamNearTopOfAddressSpaceWraps)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(256, 2);
+    const Addr pc = 0x2000;
+    const Addr top = ~Addr{0} - 0x3ff; // 1 KB below the top
+    for (int i = 0; i < 4; ++i)
+        sp.notifyAccess(mem, pc, top + 256 * i, 0);
+    EXPECT_GE(sp.confidentEntries(), 1u);
+    EXPECT_GT(sp.droppedWraps(), 0u);
+}
+
+TEST(Stride, OrdinaryStreamsNeverCountWraps)
+{
+    MemoryHierarchy mem(smallConfig());
+    StridePrefetcher sp(256, 2);
+    for (int i = 0; i < 16; ++i)
+        sp.notifyAccess(mem, 0x1000, 0x10000 + 256 * i, 0);
+    for (int i = 0; i < 16; ++i)
+        sp.notifyAccess(mem, 0x1010, 0x80000 - 256 * i, 0);
+    EXPECT_GT(mem.prefetchesIssued(), 0u);
+    EXPECT_EQ(sp.droppedWraps(), 0u);
+}

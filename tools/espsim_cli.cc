@@ -11,15 +11,23 @@
  *   espsim diff  baseline.json candidate.json [--rel-tol F]
  *                [--abs-tol F] [--headline a,b] [--max-rows N]
  *                [--ignore-config-hash]
+ *   espsim fuzz  [--runs N] [--seed S] [--verbose]
  *   espsim list  (apps and configs)
  *   espsim --version
  *
  * Tables and results print to stdout; run chatter (manifest, artifact
- * notes) goes to stderr. Exit code 0 on success, 1 on usage errors.
+ * notes) goes to stderr. Exit code 0 on success, 1 on usage errors,
+ * 2 on malformed option values (all numeric options are parsed by one
+ * checked helper that rejects trailing garbage).
  * `espsim diff` exits 0 when the artifacts agree within tolerance,
  * 1 on a headline regression or config mismatch, 2 on load failure.
+ * `espsim suite` exits 1 when any sweep cell failed (its artifact
+ * then carries an `errors` block; see docs/ROBUSTNESS.md).
+ * `espsim fuzz` runs the src/check/ property harness and exits 1 on
+ * the first oracle violation, printing a shrunken repro.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "check/fuzz.hh"
 #include "common/table.hh"
 #include "common/version.hh"
 #include "report/artifact.hh"
@@ -76,9 +85,53 @@ usage()
         "[--rel-tol F] [--abs-tol F]\n"
         "               [--headline a,b,c] [--max-rows N] "
         "[--ignore-config-hash]\n"
+        "  espsim fuzz  [--runs N] [--seed S] [--verbose]\n"
         "  espsim list\n"
         "  espsim --version");
     return 1;
+}
+
+/**
+ * Checked numeric option parsing: every numeric flag goes through one
+ * of these instead of raw std::stoul / strtod, so `--events abc` (or
+ * `--rel-tol 0.1x`) prints the usage text and exits 2 instead of
+ * aborting on an uncaught std::invalid_argument or silently reading
+ * a half-parsed value. Trailing garbage is rejected.
+ */
+unsigned long
+parseUnsignedOption(const std::string &value, const char *flag)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        errno == ERANGE || value[0] == '-') {
+        std::fprintf(stderr,
+                     "invalid value '%s' for --%s (expected a "
+                     "non-negative integer)\n",
+                     value.c_str(), flag);
+        usage();
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parseDoubleOption(const std::string &value, const char *flag)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "invalid value '%s' for --%s (expected a "
+                     "number)\n",
+                     value.c_str(), flag);
+        usage();
+        std::exit(2);
+    }
+    return v;
 }
 
 /** Build/run manifest on stderr; artifacts stay free of such facts. */
@@ -237,7 +290,8 @@ cmdSuite(const std::map<std::string, std::string> &flags)
     printRunManifest();
     SuiteRunner runner(apps);
     if (auto it = flags.find("jobs"); it != flags.end()) {
-        const long jobs = std::strtol(it->second.c_str(), nullptr, 10);
+        const unsigned long jobs =
+            parseUnsignedOption(it->second, "jobs");
         runner.setJobs(jobs >= 1 ? static_cast<unsigned>(jobs) : 1);
     }
     const auto rows = runner.run(configs, true);
@@ -250,7 +304,9 @@ cmdSuite(const std::map<std::string, std::string> &flags)
     for (const SuiteRow &row : rows) {
         std::vector<std::string> cells{row.app};
         for (std::size_t c = 0; c < configs.size(); ++c) {
-            if (c == 0) {
+            if (!row.ok(c) || (c != 0 && !row.ok(0))) {
+                cells.push_back("ERROR!");
+            } else if (c == 0) {
                 cells.push_back(TextTable::num(
                     static_cast<double>(row.results[0].cycles), 0));
             } else {
@@ -264,6 +320,16 @@ cmdSuite(const std::map<std::string, std::string> &flags)
         table.row(cells);
     }
     std::fputs(table.render().c_str(), stdout);
+    for (const SuiteRow &row : rows) {
+        for (std::size_t c = 0;
+             c < configs.size() && c < row.errors.size(); ++c) {
+            if (!row.ok(c)) {
+                std::fprintf(stderr, "error cell (%s, %s): %s\n",
+                             row.app.c_str(), configs[c].name.c_str(),
+                             row.errors[c].message.c_str());
+            }
+        }
+    }
 
     // "--json"/"--csv" with no following path get parseFlags' "1"
     // placeholder; map that to the default artifact name.
@@ -295,7 +361,9 @@ cmdSuite(const std::map<std::string, std::string> &flags)
         }
         std::fprintf(stderr, "# wrote %s\n", path.c_str());
     }
-    return 0;
+    // Degraded sweeps exit non-zero so CI notices, even though every
+    // healthy cell completed and the artifacts were still written.
+    return suiteHasErrors(rows) ? 1 : 0;
 }
 
 int
@@ -307,7 +375,7 @@ cmdGen(const std::map<std::string, std::string> &flags)
         return usage();
     AppProfile profile = AppProfile::byName(app_it->second);
     if (auto it = flags.find("events"); it != flags.end())
-        profile.numEvents = std::stoul(it->second);
+        profile.numEvents = parseUnsignedOption(it->second, "events");
     const auto workload = SyntheticGenerator(profile).generate();
     if (!saveWorkload(out_it->second, *workload)) {
         std::fprintf(stderr, "write failed\n");
@@ -340,14 +408,15 @@ cmdDiff(int argc, char **argv)
             return i + 1 < argc ? argv[++i] : "";
         };
         if (arg == "--rel-tol") {
-            opts.relTol = std::strtod(value().c_str(), nullptr);
+            opts.relTol = parseDoubleOption(value(), "rel-tol");
         } else if (arg == "--abs-tol") {
-            opts.absTol = std::strtod(value().c_str(), nullptr);
+            opts.absTol = parseDoubleOption(value(), "abs-tol");
         } else if (arg == "--headline-rel-tol") {
-            opts.headlineRelTol = std::strtod(value().c_str(), nullptr);
+            opts.headlineRelTol =
+                parseDoubleOption(value(), "headline-rel-tol");
         } else if (arg == "--max-rows") {
             opts.maxRows = static_cast<std::size_t>(
-                std::strtoul(value().c_str(), nullptr, 10));
+                parseUnsignedOption(value(), "max-rows"));
         } else if (arg == "--headline") {
             opts.headlineStats.clear();
             std::stringstream ss(value());
@@ -371,6 +440,20 @@ cmdDiff(int argc, char **argv)
     std::fputs(report.c_str(),
                res.exitCode() == 2 ? stderr : stdout);
     return res.exitCode();
+}
+
+int
+cmdFuzz(const std::map<std::string, std::string> &flags)
+{
+    FuzzOptions opts;
+    if (auto it = flags.find("runs"); it != flags.end())
+        opts.runs = static_cast<std::size_t>(
+            parseUnsignedOption(it->second, "runs"));
+    if (auto it = flags.find("seed"); it != flags.end())
+        opts.seed = parseUnsignedOption(it->second, "seed");
+    opts.verbose = flags.count("verbose") != 0;
+    printRunManifest();
+    return runFuzz(opts);
 }
 
 } // namespace
@@ -397,5 +480,7 @@ main(int argc, char **argv)
         return cmdSuite(flags);
     if (cmd == "gen")
         return cmdGen(flags);
+    if (cmd == "fuzz")
+        return cmdFuzz(flags);
     return usage();
 }

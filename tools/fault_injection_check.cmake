@@ -1,0 +1,43 @@
+# Degraded-sweep contract check: inject a fault into one sweep cell
+# via the env-gated injector and assert that `espsim suite`
+#   - exits 1 (error cells must fail scripted sweeps),
+#   - still renders the table with the failed cell marked,
+#   - writes an artifact whose `errors` block names the cell.
+# Invoked as:
+#   cmake -DESPSIM_CLI=<path> -DOUT_JSON=<file> -P this-file
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "ESPSIM_FAULT_INJECT=amazon:NL"
+        ${ESPSIM_CLI} suite --apps amazon,bing --configs base,NL
+        --jobs 4 --json ${OUT_JSON}
+    RESULT_VARIABLE suite_rc
+    OUTPUT_VARIABLE suite_out)
+if(NOT suite_rc EQUAL 1)
+    message(FATAL_ERROR
+        "degraded suite must exit 1, got '${suite_rc}'")
+endif()
+string(FIND "${suite_out}" "ERROR!" table_marker)
+if(table_marker EQUAL -1)
+    message(FATAL_ERROR "table does not mark the failed cell")
+endif()
+
+file(READ ${OUT_JSON} artifact)
+string(FIND "${artifact}" "\"errors\"" errors_block)
+if(errors_block EQUAL -1)
+    message(FATAL_ERROR "artifact is missing its errors block")
+endif()
+string(FIND "${artifact}" "injected fault (ESPSIM_FAULT_INJECT)"
+    errors_message)
+if(errors_message EQUAL -1)
+    message(FATAL_ERROR "errors block lost the cell's message")
+endif()
+
+# The same matrix with no injection must stay clean and exit 0.
+execute_process(
+    COMMAND ${ESPSIM_CLI} suite --apps amazon,bing --configs base,NL
+        --jobs 4
+    RESULT_VARIABLE clean_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT clean_rc EQUAL 0)
+    message(FATAL_ERROR "clean suite should exit 0, got '${clean_rc}'")
+endif()

@@ -54,14 +54,42 @@ def validate_suite(doc, problems):
     if not isinstance(configs, list) or not configs:
         _fail(problems, "manifest.configs missing or empty")
     results = doc.get("results")
-    if not isinstance(results, list) or not results:
+    if not isinstance(results, list):
+        return _fail(problems, "results missing")
+    errors = doc.get("errors", [])
+    if not isinstance(errors, list):
+        _fail(problems, "errors is not a list")
+        errors = []
+    if not results and not errors:
         return _fail(problems, "results missing or empty")
     if (isinstance(apps, list) and isinstance(configs, list)
             and manifest.get("points") != len(apps) * len(configs)):
         _fail(problems, "manifest.points != apps x configs")
+    # Failed cells land in the errors block instead of results; the
+    # two together must still cover the whole (app, config) matrix.
     if (isinstance(apps, list) and isinstance(configs, list)
-            and len(results) != len(apps) * len(configs)):
-        _fail(problems, "results length != apps x configs")
+            and len(results) + len(errors) != len(apps) * len(configs)):
+        _fail(problems, "results + errors length != apps x configs")
+    for i, entry in enumerate(errors):
+        where = f"errors[{i}]"
+        if not isinstance(entry, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        if isinstance(apps, list) and entry.get("app") not in apps:
+            _fail(problems, f"{where}.app not listed in manifest.apps")
+        if (isinstance(configs, list)
+                and entry.get("config") not in configs):
+            _fail(problems,
+                  f"{where}.config not listed in manifest.configs")
+        message = entry.get("message")
+        if not isinstance(message, str) or not message:
+            _fail(problems, f"{where}.message missing or empty")
+        config_hash = entry.get("config_hash")
+        if (not isinstance(config_hash, str) or len(config_hash) != 16
+                or any(c not in "0123456789abcdef"
+                       for c in config_hash)):
+            _fail(problems, f"{where}.config_hash is not a 16-digit "
+                            "lowercase hex string")
     for i, entry in enumerate(results):
         where = f"results[{i}]"
         if not isinstance(entry, dict):
