@@ -11,6 +11,7 @@
 #include "common/rng.hh"
 #include "esp/controller.hh"
 #include "report/artifact.hh"
+#include "report/interval.hh"
 #include "report/json_reader.hh"
 #include "sim/simulator.hh"
 #include "sim/stats_report.hh"
@@ -205,6 +206,68 @@ roundtripMismatch(const std::vector<SimConfig> &configs,
     return {};
 }
 
+/**
+ * Oracle: interval sampling telescopes. For every counter and any
+ * sample period, baseline + Σ interval deltas must equal the final
+ * snapshot *exactly* (counters are uint64-backed, exact in a double
+ * below 2^53; see src/report/interval.hh), interval end cycles must
+ * be monotone, and the trailing interval must land on the final
+ * cycle.
+ */
+std::string
+intervalClosureMismatch(const FuzzCase &c, const Workload &workload)
+{
+    // Periods from a case-derived stream: short cycle periods and
+    // tiny event periods stress the grid-advance logic hardest.
+    Rng rng(c.caseSeed ^ 0x1257a15a3713ULL);
+    RunInstrumentation inst;
+    if (rng.chance(0.5))
+        inst.interval.sampleCycles = 500 + rng.below(30'000);
+    if (inst.interval.sampleCycles == 0 || rng.chance(0.5))
+        inst.interval.sampleEvents = 1 + rng.below(8);
+    IntervalSeries series;
+    inst.intervalSeries = &series;
+    (void)Simulator(c.config).run(workload, inst);
+
+    if (series.names.size() != series.baseline.size() ||
+        series.names.size() != series.finalValues.size())
+        return "series name/value widths disagree";
+    std::vector<double> acc = series.baseline;
+    Cycle prev_cycle = series.baselineCycle;
+    std::uint64_t prev_events = series.baselineEvents;
+    for (const IntervalPoint &point : series.intervals) {
+        if (point.endCycle < prev_cycle)
+            return "interval end cycles are not monotone";
+        if (point.endEvents < prev_events)
+            return "interval end events are not monotone";
+        prev_cycle = point.endCycle;
+        prev_events = point.endEvents;
+        if (point.deltas.size() != acc.size())
+            return "interval delta width != names width";
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += point.deltas[i];
+    }
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        if (acc[i] != series.finalValues[i]) {
+            char buf[192];
+            std::snprintf(buf, sizeof(buf),
+                          "%s: baseline+deltas %.17g != final %.17g "
+                          "(period %llu cycles / %llu events)",
+                          series.names[i].c_str(), acc[i],
+                          series.finalValues[i],
+                          static_cast<ULL>(
+                              inst.interval.sampleCycles),
+                          static_cast<ULL>(
+                              inst.interval.sampleEvents));
+            return buf;
+        }
+    }
+    if (!series.intervals.empty() &&
+        series.intervals.back().endCycle != series.finalCycle)
+        return "trailing interval does not land on the final cycle";
+    return {};
+}
+
 } // namespace
 
 FuzzCase
@@ -341,6 +404,12 @@ checkFuzzCase(const FuzzCase &c)
     // Oracle: the artifact is a faithful serialisation.
     if (std::string m = roundtripMismatch(configs, rows1); !m.empty())
         return {"artifact-roundtrip", std::move(m)};
+
+    // Oracle: interval deltas telescope at any sample period.
+    if (std::string m = intervalClosureMismatch(c, *workload);
+        !m.empty()) {
+        return {"interval-delta-closure", std::move(m)};
+    }
 
     return {};
 }

@@ -16,6 +16,9 @@
  *                            produce bit-identical stat snapshots
  *   - artifact-roundtrip:    the suite JSON artifact re-parses and
  *                            reproduces every stat value exactly
+ *   - interval-delta-closure: at any sample period, the interval
+ *                            sampler's deltas telescope — baseline +
+ *                            Σ deltas == final counter snapshot
  *
  * On a violation the harness shrinks the profile to a minimal
  * still-failing point and prints a one-line repro command; see

@@ -53,6 +53,23 @@ JobPool::droppedExceptions() const
     return droppedErrors_;
 }
 
+JobPoolUsage
+JobPool::usage() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobPoolUsage u;
+    u.jobsCompleted = jobsCompleted_;
+    u.queueDepthHighWater = queueHighWater_;
+    u.busyMs = busyMs_;
+    u.threads = threads_;
+    if (sawWork_) {
+        u.wallMs = std::chrono::duration<double, std::milli>(
+                       lastDone_ - firstSubmit_)
+                       .count();
+    }
+    return u;
+}
+
 void
 JobPool::runGuarded(std::function<void()> &job)
 {
@@ -68,20 +85,28 @@ JobPool::runGuarded(std::function<void()> &job)
     } catch (...) {
         error = std::current_exception();
     }
+    const auto finish = std::chrono::steady_clock::now();
     const auto elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - start);
+            finish - start);
     if (timeout.count() > 0 && elapsed > timeout) {
         warn("job ran %lld ms, exceeding the %lld ms soft timeout",
              static_cast<long long>(elapsed.count()),
              static_cast<long long>(timeout.count()));
     }
-    if (error) {
+    {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (firstError_)
-            ++droppedErrors_;
-        else
-            firstError_ = error;
+        ++jobsCompleted_;
+        busyMs_ += std::chrono::duration<double, std::milli>(
+                       finish - start)
+                       .count();
+        lastDone_ = finish;
+        if (error) {
+            if (firstError_)
+                ++droppedErrors_;
+            else
+                firstError_ = error;
+        }
     }
 }
 
@@ -91,12 +116,24 @@ JobPool::submit(std::function<void()> job)
     if (workers_.empty()) {
         // jobs=1: execute in submission order, old serial path — but
         // under the same exception contract as the threaded pool.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!sawWork_) {
+                sawWork_ = true;
+                firstSubmit_ = std::chrono::steady_clock::now();
+            }
+        }
         runGuarded(job);
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (!sawWork_) {
+            sawWork_ = true;
+            firstSubmit_ = std::chrono::steady_clock::now();
+        }
         queue_.push_back(std::move(job));
+        queueHighWater_ = std::max(queueHighWater_, queue_.size());
     }
     work_cv_.notify_one();
 }

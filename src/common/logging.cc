@@ -3,12 +3,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.hh"
+
 namespace espsim
 {
 
 namespace
 {
 
+/** panic/fatal bypass the level gate: a dying process must say why. */
 void
 vreport(const char *prefix, const char *fmt, std::va_list args)
 {
@@ -44,7 +47,7 @@ warn(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    vreport("warn", fmt, args);
+    vlogLine(LogLevel::Warn, "warn", fmt, args);
     va_end(args);
 }
 
@@ -53,7 +56,7 @@ inform(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    vreport("info", fmt, args);
+    vlogLine(LogLevel::Info, "info", fmt, args);
     va_end(args);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "report/interval.hh"
 
 namespace espsim
 {
@@ -387,6 +388,10 @@ OoOCore::run(const Workload &workload)
         // they cannot leak attribution into the next event.
         pendingSpecCycles_ = 0;
         ++stats_.events;
+        // Keep the cycles counter live at retire boundaries so a
+        // mid-run counter snapshot (interval sampling) is consistent
+        // with the rest of the stat surface.
+        stats_.cycles = fetchCycle_;
         hooks_.onEventEnd(idx, fetchCycle_);
 
         // Per-event-type (handler) cycle attribution.
@@ -420,6 +425,8 @@ OoOCore::run(const Workload &workload)
             }
             timeline_->eventPrefetchTallies(idx, std::move(pf_args));
         }
+        if (sampler_)
+            sampler_->onEventRetired(stats_.events, fetchCycle_);
     }
     stats_.cycles = fetchCycle_;
     if (stats_.bucketSum() != stats_.cycles) {

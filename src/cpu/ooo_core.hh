@@ -38,6 +38,8 @@
 namespace espsim
 {
 
+class IntervalSampler;
+
 /** Core pipeline parameters (defaults = paper Figure 7). */
 struct CoreConfig
 {
@@ -182,6 +184,13 @@ class OoOCore
     /** Attach an opt-in per-event timeline sink (nullptr detaches). */
     void setTimeline(EventTimeline *timeline) { timeline_ = timeline; }
 
+    /**
+     * Attach an opt-in interval sampler (nullptr detaches); it is
+     * invoked at every event-retire boundary — the only points where
+     * the registered stat surface is consistent mid-run.
+     */
+    void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
     /** Current-fetch-cycle accessor for hooks/tests. */
     Cycle now() const { return fetchCycle_; }
 
@@ -205,6 +214,7 @@ class OoOCore
 
     CoreStats stats_;
     EventTimeline *timeline_ = nullptr;
+    IntervalSampler *sampler_ = nullptr;
 
     // Pipeline state.
     Cycle fetchCycle_ = 0;

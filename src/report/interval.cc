@@ -1,0 +1,239 @@
+#include "report/interval.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/version.hh"
+#include "report/artifact.hh"
+#include "report/json_writer.hh"
+#include "report/timeline.hh"
+
+namespace espsim
+{
+
+namespace
+{
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/** Index of @p name in sorted @p names, or npos. */
+std::size_t
+indexOf(const std::vector<std::string> &names, const std::string &name)
+{
+    const auto it =
+        std::lower_bound(names.begin(), names.end(), name);
+    if (it == names.end() || *it != name)
+        return npos;
+    return static_cast<std::size_t>(it - names.begin());
+}
+
+} // namespace
+
+IntervalSampler::IntervalSampler(const StatRegistry &reg,
+                                 IntervalConfig period)
+    : reg_(reg)
+{
+    series_.period = period;
+    // Freeze the counter name set now: stats registered later (the
+    // post-run handler breakdown, derived metrics) never appear, so
+    // every sample sees the same names and deltas stay well-defined.
+    const StatGroup counters = reg_.counterSnapshot();
+    series_.names.reserve(counters.values().size());
+    series_.baseline.reserve(counters.values().size());
+    for (const auto &[name, value] : counters.values()) {
+        series_.names.push_back(name);
+        series_.baseline.push_back(value);
+    }
+    prev_ = series_.baseline;
+    nextCycle_ = period.sampleCycles;
+    nextEvents_ = period.sampleEvents;
+
+    idxCycles_ = indexOf(series_.names, "core.cycles");
+    idxInstructions_ = indexOf(series_.names, "core.instructions");
+    idxL1iMisses_ = indexOf(series_.names, "mem.l1i.misses");
+    idxL1dAccesses_ = indexOf(series_.names, "mem.l1d.accesses");
+    idxL1dMisses_ = indexOf(series_.names, "mem.l1d.misses");
+    idxEspPreExec_ =
+        indexOf(series_.names, "core.cycle_bucket.esp_pre_exec");
+}
+
+std::vector<double>
+IntervalSampler::currentValues() const
+{
+    const StatGroup counters = reg_.counterSnapshot();
+    std::vector<double> values;
+    values.reserve(series_.names.size());
+    // The registry only ever grows, so the frozen name set is a
+    // subset of the snapshot; walk it by name to stay aligned.
+    for (const std::string &name : series_.names)
+        values.push_back(counters.get(name));
+    return values;
+}
+
+void
+IntervalSampler::onEventRetired(std::uint64_t events_retired, Cycle now)
+{
+    if (finalized_)
+        return;
+    const bool cycles_due =
+        series_.period.sampleCycles > 0 && now >= nextCycle_;
+    const bool events_due = series_.period.sampleEvents > 0 &&
+        events_retired >= nextEvents_;
+    if (!cycles_due && !events_due)
+        return;
+    sample(now, events_retired);
+    // Advance past every grid point the run has already crossed: an
+    // event spanning several periods yields one (larger) interval,
+    // since the registry is only consistent at retire boundaries.
+    if (series_.period.sampleCycles > 0) {
+        while (nextCycle_ <= now)
+            nextCycle_ += series_.period.sampleCycles;
+    }
+    if (series_.period.sampleEvents > 0) {
+        while (nextEvents_ <= events_retired)
+            nextEvents_ += series_.period.sampleEvents;
+    }
+}
+
+void
+IntervalSampler::sample(Cycle now, std::uint64_t events_retired)
+{
+    std::vector<double> values = currentValues();
+    IntervalPoint point;
+    point.endCycle = now;
+    point.endEvents = events_retired;
+    point.deltas.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        point.deltas[i] = values[i] - prev_[i];
+    prev_ = std::move(values);
+    emitTimelineCounters(point);
+    series_.intervals.push_back(std::move(point));
+}
+
+void
+IntervalSampler::emitTimelineCounters(const IntervalPoint &point)
+{
+    if (!timeline_)
+        return;
+    const auto delta = [&point](std::size_t idx) {
+        return idx == npos ? 0.0 : point.deltas[idx];
+    };
+    const double cycles = delta(idxCycles_);
+    const double instrs = delta(idxInstructions_);
+    std::vector<std::pair<std::string, double>> metrics;
+    if (cycles > 0) {
+        metrics.emplace_back("interval.ipc", instrs / cycles);
+        if (idxEspPreExec_ != npos) {
+            metrics.emplace_back("interval.esp_occupancy",
+                                 delta(idxEspPreExec_) / cycles);
+        }
+    }
+    if (instrs > 0 && idxL1iMisses_ != npos) {
+        metrics.emplace_back("interval.l1i_mpki",
+                             delta(idxL1iMisses_) /
+                                 (instrs / 1000.0));
+    }
+    const double l1d_accesses = delta(idxL1dAccesses_);
+    if (l1d_accesses > 0 && idxL1dMisses_ != npos) {
+        metrics.emplace_back("interval.l1d_miss_rate",
+                             delta(idxL1dMisses_) / l1d_accesses);
+    }
+    if (!metrics.empty())
+        timeline_->recordIntervalCounters(point.endCycle,
+                                          std::move(metrics));
+}
+
+void
+IntervalSampler::finalize(Cycle now, std::uint64_t events_retired)
+{
+    if (finalized_)
+        panic("IntervalSampler: finalize() called twice");
+    std::vector<double> values = currentValues();
+    // Trailing partial interval: whatever moved since the last grid
+    // sample. Emitting it makes the deltas telescope exactly to the
+    // final snapshot.
+    if (values != prev_) {
+        IntervalPoint point;
+        point.endCycle = now;
+        point.endEvents = events_retired;
+        point.deltas.resize(values.size());
+        for (std::size_t i = 0; i < values.size(); ++i)
+            point.deltas[i] = values[i] - prev_[i];
+        emitTimelineCounters(point);
+        series_.intervals.push_back(std::move(point));
+    }
+    prev_ = values;
+    series_.finalCycle = now;
+    series_.finalEvents = events_retired;
+    series_.finalValues = std::move(values);
+    finalized_ = true;
+}
+
+std::string
+renderIntervalSeriesJson(const ArtifactManifest &manifest,
+                         const IntervalSeries &series)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("espsim-interval-series");
+    w.key("format_version")
+        .value(std::uint64_t{intervalSeriesFormatVersion});
+    w.key("manifest").beginObject();
+    w.key("source").value(manifest.source);
+    w.key("tool_version")
+        .value(manifest.toolVersion.empty() ? versionString()
+                                            : manifest.toolVersion);
+    w.key("build_type")
+        .value(manifest.buildType.empty() ? buildTypeString()
+                                          : manifest.buildType);
+    w.key("config_hash").value(series.configHash);
+    w.key("config").value(series.configName);
+    w.key("workload").value(series.workloadName);
+    w.key("sample_cycles")
+        .value(std::uint64_t{series.period.sampleCycles});
+    w.key("sample_events")
+        .value(std::uint64_t{series.period.sampleEvents});
+    w.endObject();
+
+    w.key("names").beginArray();
+    for (const std::string &name : series.names)
+        w.value(name);
+    w.endArray();
+
+    w.key("baseline").beginObject();
+    w.key("cycle").value(std::uint64_t{series.baselineCycle});
+    w.key("events").value(std::uint64_t{series.baselineEvents});
+    w.key("values").beginArray();
+    for (const double v : series.baseline)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+
+    w.key("intervals").beginArray();
+    for (const IntervalPoint &point : series.intervals) {
+        w.beginObject();
+        w.key("end_cycle").value(std::uint64_t{point.endCycle});
+        w.key("end_events").value(std::uint64_t{point.endEvents});
+        w.key("deltas").beginArray();
+        for (const double v : point.deltas)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("final").beginObject();
+    w.key("cycle").value(std::uint64_t{series.finalCycle});
+    w.key("events").value(std::uint64_t{series.finalEvents});
+    w.key("values").beginArray();
+    for (const double v : series.finalValues)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+} // namespace espsim

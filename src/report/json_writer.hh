@@ -70,6 +70,20 @@ class JsonWriter
     /** The document so far. Valid JSON once all scopes are closed. */
     const std::string &str() const { return out_; }
 
+    /**
+     * Move out everything buffered so far and reset the buffer, while
+     * keeping the scope/comma state. Streaming consumers drain the
+     * writer into a file incrementally so the full document never
+     * lives in memory at once.
+     */
+    std::string
+    drain()
+    {
+        std::string text = std::move(out_);
+        out_.clear();
+        return text;
+    }
+
     /** True when every beginObject/beginArray has been closed. */
     bool complete() const { return scopes_.empty(); }
 

@@ -6,11 +6,11 @@ namespace espsim
 {
 
 void
-StatRegistry::insert(const std::string &name, Getter getter)
+StatRegistry::insert(const std::string &name, Getter getter, StatKind kind)
 {
     if (name.empty())
         panic("StatRegistry: empty stat name");
-    if (!entries_.emplace(name, std::move(getter)).second)
+    if (!entries_.emplace(name, Entry{std::move(getter), kind}).second)
         panic("StatRegistry: duplicate stat '%s'", name.c_str());
 }
 
@@ -19,19 +19,20 @@ StatRegistry::registerScalar(const std::string &name,
                              const std::uint64_t *counter)
 {
     insert(name,
-           [counter] { return static_cast<double>(*counter); });
+           [counter] { return static_cast<double>(*counter); },
+           StatKind::Counter);
 }
 
 void
 StatRegistry::registerScalar(const std::string &name, const double *value)
 {
-    insert(name, [value] { return *value; });
+    insert(name, [value] { return *value; }, StatKind::Gauge);
 }
 
 void
 StatRegistry::registerDerived(const std::string &name, Getter getter)
 {
-    insert(name, std::move(getter));
+    insert(name, std::move(getter), StatKind::Derived);
 }
 
 void
@@ -39,10 +40,12 @@ StatRegistry::registerSamples(const std::string &name, const SampleStat *s)
 {
     insert(name + ".count", [s] {
         return static_cast<double>(s->count());
-    });
-    insert(name + ".mean", [s] { return s->mean(); });
-    insert(name + ".max", [s] { return s->max(); });
-    insert(name + ".p95", [s] { return s->percentile(95.0); });
+    }, StatKind::Sample);
+    insert(name + ".mean", [s] { return s->mean(); }, StatKind::Sample);
+    insert(name + ".max", [s] { return s->max(); }, StatKind::Sample);
+    insert(name + ".p95", [s] {
+        return s->percentile(95.0);
+    }, StatKind::Sample);
 }
 
 bool
@@ -55,8 +58,19 @@ StatGroup
 StatRegistry::snapshot() const
 {
     StatGroup out;
-    for (const auto &[name, getter] : entries_)
-        out.set(name, getter());
+    for (const auto &[name, entry] : entries_)
+        out.set(name, entry.getter());
+    return out;
+}
+
+StatGroup
+StatRegistry::counterSnapshot() const
+{
+    StatGroup out;
+    for (const auto &[name, entry] : entries_) {
+        if (entry.kind == StatKind::Counter)
+            out.set(name, entry.getter());
+    }
     return out;
 }
 

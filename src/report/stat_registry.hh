@@ -34,6 +34,23 @@
 namespace espsim
 {
 
+/**
+ * What backs a registered stat. Interval sampling only differences
+ * Counter-kind stats: uint64-backed monotone counters difference
+ * exactly in double (values stay < 2^53), so per-interval deltas
+ * telescope back to the final aggregate with zero error. Gauges can
+ * move both ways, Derived values are ratios of other stats, and
+ * Sample expansions are order statistics — none of them difference
+ * meaningfully.
+ */
+enum class StatKind
+{
+    Counter, ///< uint64-backed, monotone non-decreasing
+    Gauge,   ///< double-backed, may move either way
+    Derived, ///< computed at snapshot time (rates, ratios)
+    Sample,  ///< SampleStat expansion (.count/.mean/.max/.p95)
+};
+
 /** Named-stat registry; components register, consumers snapshot. */
 class StatRegistry
 {
@@ -60,10 +77,23 @@ class StatRegistry
     /** Evaluate every registered stat into a flat StatGroup. */
     StatGroup snapshot() const;
 
-  private:
-    std::map<std::string, Getter> entries_;
+    /**
+     * Evaluate only Counter-kind stats (uint64-backed monotone
+     * counters). This is the interval-sampling surface: deltas of
+     * these values are exact and sum to the final aggregate.
+     */
+    StatGroup counterSnapshot() const;
 
-    void insert(const std::string &name, Getter getter);
+  private:
+    struct Entry
+    {
+        Getter getter;
+        StatKind kind;
+    };
+
+    std::map<std::string, Entry> entries_;
+
+    void insert(const std::string &name, Getter getter, StatKind kind);
 };
 
 } // namespace espsim

@@ -2,10 +2,38 @@
 
 #include <fstream>
 
+#include "common/logging.hh"
 #include "report/json_writer.hh"
 
 namespace espsim
 {
+
+/** Streaming state: the open file plus the comma-tracking writer. */
+struct EventTimeline::Stream
+{
+    std::ofstream out;
+    JsonWriter writer;
+
+    bool
+    drainTo()
+    {
+        const std::string text = writer.drain();
+        out.write(text.data(),
+                  static_cast<std::streamsize>(text.size()));
+        return static_cast<bool>(out);
+    }
+};
+
+EventTimeline::EventTimeline() = default;
+
+EventTimeline::~EventTimeline()
+{
+    // An abandoned stream still holds an open scope; close it so the
+    // file is at least valid-prefix JSON, but don't warn — the owner
+    // already reported whatever error abandoned it.
+    if (stream_)
+        closeStream();
+}
 
 const char *
 timelineStallName(TimelineStall kind)
@@ -28,6 +56,18 @@ timelineStallName(TimelineStall kind)
 void
 EventTimeline::eventQueued(std::size_t event_idx, Cycle now)
 {
+    if (eventLimit_ > 0 && numEvents() >= eventLimit_) {
+        // Over the cap: flush whatever is buffered so the kept
+        // prefix reaches the stream, then drop this and later events.
+        if (stream_ && !dropping_)
+            flushCompletedEvent();
+        dropping_ = true;
+        ++droppedEvents_;
+        curEvent_ = event_idx;
+        return;
+    }
+    if (stream_)
+        flushCompletedEvent();
     EventSpan span;
     span.index = event_idx;
     span.queued = now;
@@ -75,6 +115,8 @@ EventTimeline::eventPrefetchTallies(
 void
 EventTimeline::recordStall(TimelineStall kind, Cycle start, Cycle dur)
 {
+    if (dropping_)
+        return;
     StallSpan span;
     span.kind = kind;
     span.eventIdx = curEvent_;
@@ -92,6 +134,8 @@ EventTimeline::recordEspWindow(unsigned depth,
                                std::size_t spec_event_idx, Cycle start,
                                Cycle dur)
 {
+    if (dropping_)
+        return;
     EspSpan span;
     span.depth = depth;
     span.specEventIdx = spec_event_idx;
@@ -104,6 +148,16 @@ EventTimeline::recordEspWindow(unsigned depth,
 }
 
 void
+EventTimeline::recordIntervalCounters(
+    Cycle ts, std::vector<std::pair<std::string, double>> values)
+{
+    CounterSample sample;
+    sample.ts = ts;
+    sample.values = std::move(values);
+    counters_.push_back(std::move(sample));
+}
+
+void
 EventTimeline::setRunInfo(const std::string &config_name,
                           const std::string &workload_name)
 {
@@ -111,15 +165,22 @@ EventTimeline::setRunInfo(const std::string &config_name,
     workloadName_ = workload_name;
 }
 
+void
+EventTimeline::setEventLimit(std::size_t max_events)
+{
+    eventLimit_ = max_events;
+}
+
 namespace
 {
 
-/** Trace rows: one pid, four named tids. */
+/** Trace rows: one pid, five named tids. */
 constexpr int tracePid = 1;
 constexpr int tidEvents = 1;
 constexpr int tidStalls = 2;
 constexpr int tidEsp = 3;
 constexpr int tidAccounting = 4;
+constexpr int tidIntervals = 5;
 
 void
 metadataRecord(JsonWriter &w, const char *name, int tid,
@@ -149,10 +210,9 @@ sliceCommon(JsonWriter &w, const char *cat, Cycle ts, Cycle dur,
 
 } // namespace
 
-std::string
-EventTimeline::renderChromeTrace() const
+void
+EventTimeline::renderHeader(JsonWriter &w) const
 {
-    JsonWriter w;
     w.beginObject();
     w.key("traceEvents").beginArray();
 
@@ -161,74 +221,83 @@ EventTimeline::renderChromeTrace() const
     metadataRecord(w, "thread_name", tidStalls, "stalls");
     metadataRecord(w, "thread_name", tidEsp, "esp pre-execution");
     metadataRecord(w, "thread_name", tidAccounting, "cycle accounting");
+    metadataRecord(w, "thread_name", tidIntervals, "interval stats");
+}
 
-    for (const EventSpan &ev : events_) {
-        // The full event span: queue-head to retire.
+void
+EventTimeline::renderEventGroup(JsonWriter &w, const EventSpan &ev,
+                                std::size_t &stall_cursor,
+                                std::size_t &window_cursor) const
+{
+    // The full event span: queue-head to retire.
+    w.beginObject();
+    w.key("name").value("event " + std::to_string(ev.index));
+    sliceCommon(w, "event", ev.queued, ev.retired - ev.queued,
+                tidEvents);
+    w.key("args").beginObject();
+    w.key("index").value(std::uint64_t{ev.index});
+    w.key("queued_cycle").value(std::uint64_t{ev.queued});
+    w.key("dispatch_cycle").value(std::uint64_t{ev.dispatched});
+    w.key("retire_cycle").value(std::uint64_t{ev.retired});
+    w.key("instructions").value(std::uint64_t{ev.instructions});
+    w.key("stall_count").value(std::uint64_t{ev.stallCount});
+    w.key("esp_windows").value(std::uint64_t{ev.espWindows});
+    w.key("stall_cycles").beginObject();
+    for (unsigned k = 0; k < 5; ++k) {
+        w.key(timelineStallName(static_cast<TimelineStall>(k)))
+            .value(std::uint64_t{ev.stallCycles[k]});
+    }
+    w.endObject();
+    if (!ev.cycleBuckets.empty()) {
+        w.key("cycle_buckets").beginObject();
+        for (const auto &[name, cycles] : ev.cycleBuckets)
+            w.key(name).value(std::uint64_t{cycles});
+        w.endObject();
+    }
+    if (!ev.prefetches.empty()) {
+        w.key("prefetches").beginObject();
+        for (const auto &[name, count] : ev.prefetches)
+            w.key(name).value(std::uint64_t{count});
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+
+    // Counter track: the event's cycle-accounting breakdown as a
+    // stacked Perfetto counter sampled at dispatch time.
+    if (!ev.cycleBuckets.empty()) {
         w.beginObject();
-        w.key("name").value("event " + std::to_string(ev.index));
-        sliceCommon(w, "event", ev.queued, ev.retired - ev.queued,
-                    tidEvents);
+        w.key("name").value("cycle buckets");
+        w.key("cat").value("accounting");
+        w.key("ph").value("C");
+        w.key("ts").value(std::uint64_t{ev.queued});
+        w.key("pid").value(tracePid);
+        w.key("tid").value(tidAccounting);
         w.key("args").beginObject();
-        w.key("index").value(std::uint64_t{ev.index});
-        w.key("queued_cycle").value(std::uint64_t{ev.queued});
-        w.key("dispatch_cycle").value(std::uint64_t{ev.dispatched});
-        w.key("retire_cycle").value(std::uint64_t{ev.retired});
-        w.key("instructions").value(std::uint64_t{ev.instructions});
-        w.key("stall_count").value(std::uint64_t{ev.stallCount});
-        w.key("esp_windows").value(std::uint64_t{ev.espWindows});
-        w.key("stall_cycles").beginObject();
-        for (unsigned k = 0; k < 5; ++k) {
-            w.key(timelineStallName(static_cast<TimelineStall>(k)))
-                .value(std::uint64_t{ev.stallCycles[k]});
-        }
+        for (const auto &[name, cycles] : ev.cycleBuckets)
+            w.key(name).value(std::uint64_t{cycles});
         w.endObject();
-        if (!ev.cycleBuckets.empty()) {
-            w.key("cycle_buckets").beginObject();
-            for (const auto &[name, cycles] : ev.cycleBuckets)
-                w.key(name).value(std::uint64_t{cycles});
-            w.endObject();
-        }
-        if (!ev.prefetches.empty()) {
-            w.key("prefetches").beginObject();
-            for (const auto &[name, count] : ev.prefetches)
-                w.key(name).value(std::uint64_t{count});
-            w.endObject();
-        }
-        w.endObject();
-        w.endObject();
-
-        // Counter track: the event's cycle-accounting breakdown as a
-        // stacked Perfetto counter sampled at dispatch time.
-        if (!ev.cycleBuckets.empty()) {
-            w.beginObject();
-            w.key("name").value("cycle buckets");
-            w.key("cat").value("accounting");
-            w.key("ph").value("C");
-            w.key("ts").value(std::uint64_t{ev.queued});
-            w.key("pid").value(tracePid);
-            w.key("tid").value(tidAccounting);
-            w.key("args").beginObject();
-            for (const auto &[name, cycles] : ev.cycleBuckets)
-                w.key(name).value(std::uint64_t{cycles});
-            w.endObject();
-            w.endObject();
-        }
-
-        // Nested execute slice: dispatch to retire (the looper-gap
-        // prefix of the outer slice is the queue/dequeue overhead).
-        w.beginObject();
-        w.key("name").value("execute");
-        sliceCommon(w, "event", ev.dispatched,
-                    ev.retired - ev.dispatched, tidEvents);
-        w.key("args")
-            .beginObject()
-            .key("index")
-            .value(std::uint64_t{ev.index})
-            .endObject();
         w.endObject();
     }
 
-    for (const StallSpan &st : stalls_) {
+    // Nested execute slice: dispatch to retire (the looper-gap
+    // prefix of the outer slice is the queue/dequeue overhead).
+    w.beginObject();
+    w.key("name").value("execute");
+    sliceCommon(w, "event", ev.dispatched, ev.retired - ev.dispatched,
+                tidEvents);
+    w.key("args")
+        .beginObject()
+        .key("index")
+        .value(std::uint64_t{ev.index})
+        .endObject();
+    w.endObject();
+
+    // The event's stalls and ESP windows. Spans are recorded in
+    // event order, so a cursor walk groups them without indexing.
+    while (stall_cursor < stalls_.size() &&
+           stalls_[stall_cursor].eventIdx <= ev.index) {
+        const StallSpan &st = stalls_[stall_cursor++];
         w.beginObject();
         w.key("name").value(timelineStallName(st.kind));
         sliceCommon(w, "stall", st.start, st.dur, tidStalls);
@@ -239,8 +308,9 @@ EventTimeline::renderChromeTrace() const
             .endObject();
         w.endObject();
     }
-
-    for (const EspSpan &sp : windows_) {
+    while (window_cursor < windows_.size() &&
+           windows_[window_cursor].triggerEventIdx <= ev.index) {
+        const EspSpan &sp = windows_[window_cursor++];
         w.beginObject();
         w.key("name").value("ESP-" + std::to_string(sp.depth));
         sliceCommon(w, "esp", sp.start, sp.dur, tidEsp);
@@ -253,7 +323,67 @@ EventTimeline::renderChromeTrace() const
         w.endObject();
         w.endObject();
     }
+}
 
+void
+EventTimeline::renderTrailing(JsonWriter &w, std::size_t stall_cursor,
+                              std::size_t window_cursor) const
+{
+    while (stall_cursor < stalls_.size()) {
+        const StallSpan &st = stalls_[stall_cursor++];
+        w.beginObject();
+        w.key("name").value(timelineStallName(st.kind));
+        sliceCommon(w, "stall", st.start, st.dur, tidStalls);
+        w.key("args")
+            .beginObject()
+            .key("event")
+            .value(std::uint64_t{st.eventIdx})
+            .endObject();
+        w.endObject();
+    }
+    while (window_cursor < windows_.size()) {
+        const EspSpan &sp = windows_[window_cursor++];
+        w.beginObject();
+        w.key("name").value("ESP-" + std::to_string(sp.depth));
+        sliceCommon(w, "esp", sp.start, sp.dur, tidEsp);
+        w.key("args").beginObject();
+        w.key("depth").value(sp.depth);
+        w.key("pre_executed_event")
+            .value(std::uint64_t{sp.specEventIdx});
+        w.key("triggering_event")
+            .value(std::uint64_t{sp.triggerEventIdx});
+        w.endObject();
+        w.endObject();
+    }
+}
+
+void
+EventTimeline::renderCounterSamples(JsonWriter &w) const
+{
+    // One record per metric per sample: each metric gets its own
+    // Perfetto counter track on the interval row.
+    for (const CounterSample &sample : counters_) {
+        for (const auto &[name, value] : sample.values) {
+            w.beginObject();
+            w.key("name").value(name);
+            w.key("cat").value("interval");
+            w.key("ph").value("C");
+            w.key("ts").value(std::uint64_t{sample.ts});
+            w.key("pid").value(tracePid);
+            w.key("tid").value(tidIntervals);
+            w.key("args")
+                .beginObject()
+                .key("value")
+                .value(value)
+                .endObject();
+            w.endObject();
+        }
+    }
+}
+
+void
+EventTimeline::renderFooter(JsonWriter &w) const
+{
     w.endArray();
     w.key("displayTimeUnit").value("ms");
     w.key("otherData").beginObject();
@@ -263,8 +393,29 @@ EventTimeline::renderChromeTrace() const
     w.key("config").value(configName_);
     w.key("workload").value(workloadName_);
     w.key("cycles_per_us").value(std::uint64_t{1});
+    if (droppedEvents_ > 0)
+        w.key("dropped_events").value(std::uint64_t{droppedEvents_});
     w.endObject();
     w.endObject();
+}
+
+std::string
+EventTimeline::renderChromeTrace() const
+{
+    if (droppedEvents_ > 0) {
+        warn("timeline: event limit %zu reached; dropped %zu later "
+             "events",
+             eventLimit_, droppedEvents_);
+    }
+    JsonWriter w;
+    renderHeader(w);
+    std::size_t stall_cursor = 0;
+    std::size_t window_cursor = 0;
+    for (const EventSpan &ev : events_)
+        renderEventGroup(w, ev, stall_cursor, window_cursor);
+    renderTrailing(w, stall_cursor, window_cursor);
+    renderCounterSamples(w);
+    renderFooter(w);
     return w.str();
 }
 
@@ -278,6 +429,63 @@ EventTimeline::writeChromeTrace(const std::string &path) const
     out.write(text.data(),
               static_cast<std::streamsize>(text.size()));
     return static_cast<bool>(out);
+}
+
+bool
+EventTimeline::streamTo(const std::string &path)
+{
+    if (stream_)
+        panic("EventTimeline: streamTo() while already streaming");
+    stream_ = std::make_unique<Stream>();
+    stream_->out.open(path, std::ios::binary);
+    if (!stream_->out) {
+        stream_.reset();
+        return false;
+    }
+    renderHeader(stream_->writer);
+    return stream_->drainTo();
+}
+
+bool
+EventTimeline::flushCompletedEvent()
+{
+    if (!stream_ || events_.empty())
+        return true;
+    // In streaming mode the buffers hold exactly the spans recorded
+    // since the previous flush, all belonging to the buffered event
+    // (or recorded before the first one).
+    std::size_t stall_cursor = 0;
+    std::size_t window_cursor = 0;
+    renderEventGroup(stream_->writer, events_.back(), stall_cursor,
+                     window_cursor);
+    renderTrailing(stream_->writer, stall_cursor, window_cursor);
+    flushedEvents_ += events_.size();
+    flushedStalls_ += stalls_.size();
+    flushedWindows_ += windows_.size();
+    events_.clear();
+    stalls_.clear();
+    windows_.clear();
+    return stream_->drainTo();
+}
+
+bool
+EventTimeline::closeStream()
+{
+    if (!stream_)
+        return false;
+    if (droppedEvents_ > 0) {
+        warn("timeline: event limit %zu reached; dropped %zu later "
+             "events",
+             eventLimit_, droppedEvents_);
+    }
+    bool ok = flushCompletedEvent();
+    renderCounterSamples(stream_->writer);
+    renderFooter(stream_->writer);
+    ok = stream_->drainTo() && ok;
+    stream_->out.close();
+    ok = static_cast<bool>(stream_->out) && ok;
+    stream_.reset();
+    return ok;
 }
 
 } // namespace espsim

@@ -15,6 +15,21 @@
  * time (`ts`/`dur` are microseconds in the trace_event spec), so a
  * slice's `dur` reads directly as its cycle count.
  *
+ * Memory behaviour: by default the recorder buffers every span and
+ * renderChromeTrace() serializes them in one pass. Two controls keep
+ * long runs bounded:
+ *  - streamTo(path) switches to incremental export — each event's
+ *    record group (slices, stalls, ESP windows) is serialized and
+ *    written as soon as the next event begins, so the buffer holds at
+ *    most one event's spans. Both modes produce byte-identical files.
+ *  - setEventLimit(n) caps the recorded events at n; later events are
+ *    dropped (and counted) instead of silently ballooning RSS, with a
+ *    warning to stderr when the trace is finalized.
+ *
+ * Interval sampling (src/report/interval.hh) can append counter
+ * tracks — recordIntervalCounters() samples land on their own trace
+ * row so IPC/miss-rate phases line up visually with the event slices.
+ *
  * The recorder costs nothing when absent: components hold a nullable
  * pointer and skip all bookkeeping when it is null.
  */
@@ -23,6 +38,7 @@
 #define ESPSIM_REPORT_TIMELINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +47,8 @@
 
 namespace espsim
 {
+
+class JsonWriter;
 
 /** Trace format version written into the exported file. */
 constexpr std::uint32_t timelineFormatVersion = 1;
@@ -51,6 +69,12 @@ const char *timelineStallName(TimelineStall kind);
 class EventTimeline
 {
   public:
+    EventTimeline();
+    ~EventTimeline();
+
+    EventTimeline(const EventTimeline &) = delete;
+    EventTimeline &operator=(const EventTimeline &) = delete;
+
     /** Event reached the queue head (before looper overhead). */
     void eventQueued(std::size_t event_idx, Cycle now);
 
@@ -85,15 +109,59 @@ class EventTimeline
     void recordEspWindow(unsigned depth, std::size_t spec_event_idx,
                          Cycle start, Cycle dur);
 
+    /**
+     * One interval-sampling counter snapshot at cycle @p ts: each
+     * (metric, value) pair becomes a point on its own counter track.
+     * Samples are buffered (they are tiny) and emitted after the
+     * event slices in both buffered and streaming modes.
+     */
+    void recordIntervalCounters(
+        Cycle ts, std::vector<std::pair<std::string, double>> values);
+
     /** Run metadata stamped into the trace header. */
     void setRunInfo(const std::string &config_name,
                     const std::string &workload_name);
 
-    std::size_t numEvents() const { return events_.size(); }
-    std::size_t numStalls() const { return stalls_.size(); }
-    std::size_t numEspWindows() const { return windows_.size(); }
+    /**
+     * Record at most @p max_events events (0 = unlimited). Events
+     * beyond the cap are dropped and counted; finalizing the trace
+     * warns on stderr when anything was dropped.
+     */
+    void setEventLimit(std::size_t max_events);
 
-    /** Serialize as Chrome trace_event JSON. */
+    /** Events dropped by the event limit so far. */
+    std::size_t droppedEvents() const { return droppedEvents_; }
+
+    std::size_t numEvents() const
+    {
+        return flushedEvents_ + events_.size();
+    }
+    std::size_t numStalls() const
+    {
+        return flushedStalls_ + stalls_.size();
+    }
+    std::size_t numEspWindows() const
+    {
+        return flushedWindows_ + windows_.size();
+    }
+
+    /**
+     * Begin streaming the trace to @p path: the header is written now
+     * and each completed event record is appended as the run
+     * progresses. Finish with closeStream(). @return false on I/O.
+     */
+    bool streamTo(const std::string &path);
+
+    /** True between streamTo() and closeStream(). */
+    bool streaming() const { return stream_ != nullptr; }
+
+    /**
+     * Flush the last event record, the interval counter tracks and
+     * the trace footer, then close the stream. @return false on I/O.
+     */
+    bool closeStream();
+
+    /** Serialize as Chrome trace_event JSON (buffered mode only). */
     std::string renderChromeTrace() const;
 
     /** Write renderChromeTrace() to @p path. @return false on I/O. */
@@ -131,12 +199,40 @@ class EventTimeline
         Cycle dur = 0;
     };
 
+    struct CounterSample
+    {
+        Cycle ts = 0;
+        std::vector<std::pair<std::string, double>> values;
+    };
+
     std::vector<EventSpan> events_;
     std::vector<StallSpan> stalls_;
     std::vector<EspSpan> windows_;
+    std::vector<CounterSample> counters_;
     std::string configName_;
     std::string workloadName_;
     std::size_t curEvent_ = 0;
+    std::size_t eventLimit_ = 0;
+    std::size_t droppedEvents_ = 0;
+    bool dropping_ = false;
+
+    //!< Records already streamed out (still counted by numEvents()).
+    std::size_t flushedEvents_ = 0;
+    std::size_t flushedStalls_ = 0;
+    std::size_t flushedWindows_ = 0;
+
+    struct Stream; //!< ofstream + JsonWriter (defined in the .cc)
+    std::unique_ptr<Stream> stream_;
+
+    void renderHeader(JsonWriter &w) const;
+    void renderFooter(JsonWriter &w) const;
+    void renderEventGroup(JsonWriter &w, const EventSpan &ev,
+                          std::size_t &stall_cursor,
+                          std::size_t &window_cursor) const;
+    void renderTrailing(JsonWriter &w, std::size_t stall_cursor,
+                        std::size_t window_cursor) const;
+    void renderCounterSamples(JsonWriter &w) const;
+    bool flushCompletedEvent();
 };
 
 } // namespace espsim

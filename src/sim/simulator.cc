@@ -8,6 +8,7 @@
 
 #include "cpu/runahead.hh"
 #include "esp/controller.hh"
+#include "report/artifact.hh"
 #include "report/stat_registry.hh"
 
 namespace espsim
@@ -20,21 +21,37 @@ Simulator::Simulator(SimConfig config) : config_(std::move(config))
 SimResult
 Simulator::run(const Workload &workload) const
 {
-    return run(workload, nullptr);
+    return run(workload, RunInstrumentation{});
 }
 
 SimResult
 Simulator::run(const Workload &workload, EventTimeline *timeline) const
 {
+    RunInstrumentation inst;
+    inst.timeline = timeline;
+    return run(workload, inst);
+}
+
+SimResult
+Simulator::run(const Workload &workload,
+               const RunInstrumentation &inst) const
+{
+    EventTimeline *timeline = inst.timeline;
+    HostCellProfile *profile = inst.hostProfile;
+
     MemoryHierarchy mem(config_.memory);
     PentiumMPredictor bp(config_.branch);
 
-    // Pre-warm the LLC with the application's standing image (the
-    // paper measures a browser session already in flight).
-    for (const AddrRange &range : workload.warmSet()) {
-        for (Addr a = blockAlign(range.first); a < range.second;
-             a += blockBytes) {
-            mem.l2().insert(a);
+    {
+        // Pre-warm the LLC with the application's standing image (the
+        // paper measures a browser session already in flight).
+        WallClockSpan warmup_span(profile ? &profile->warmupMs
+                                          : nullptr);
+        for (const AddrRange &range : workload.warmSet()) {
+            for (Addr a = blockAlign(range.first); a < range.second;
+                 a += blockBytes) {
+                mem.l2().insert(a);
+            }
         }
     }
 
@@ -80,9 +97,38 @@ Simulator::run(const Workload &workload, EventTimeline *timeline) const
             esp->setTimeline(timeline);
     }
 
-    core.run(workload);
-    // Score still-unused prefetched blocks (useless) before snapshot.
-    mem.finalizePrefetchLifecycles();
+    // Interval sampling: constructed after every pre-run counter is
+    // registered (the sampler freezes the counter name set now; the
+    // post-run handler/derived registrations never enter the series).
+    std::unique_ptr<IntervalSampler> sampler;
+    if (inst.interval.enabled()) {
+        sampler = std::make_unique<IntervalSampler>(reg, inst.interval);
+        sampler->setTimeline(timeline);
+        core.setSampler(sampler.get());
+    }
+
+    {
+        WallClockSpan sim_span(profile ? &profile->simMs : nullptr);
+        core.run(workload);
+        // Score still-unused prefetched blocks (useless) before
+        // snapshot.
+        mem.finalizePrefetchLifecycles();
+    }
+
+    if (sampler) {
+        // Close the series after the lifecycle finalize so the
+        // trailing interval telescopes to the end-of-run aggregates.
+        sampler->finalize(core.stats().cycles, core.stats().events);
+        if (inst.intervalSeries) {
+            IntervalSeries series = sampler->take();
+            series.configName = config_.name;
+            series.workloadName = workload.name();
+            series.configHash = configsHash({config_});
+            *inst.intervalSeries = std::move(series);
+        }
+    }
+
+    WallClockSpan report_span(profile ? &profile->reportMs : nullptr);
 
     // Per-event-type cycle attribution: register the top handlers by
     // cycles spent (bounded so artifacts stay small), aggregating the

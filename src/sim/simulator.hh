@@ -14,6 +14,8 @@
 #include "common/stats.hh"
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
+#include "report/host_profile.hh"
+#include "report/interval.hh"
 #include "report/timeline.hh"
 #include "sim/sim_config.hh"
 #include "trace/workload.hh"
@@ -66,6 +68,22 @@ struct SimResult
     }
 };
 
+/**
+ * Optional observers for one run; all fields may be left defaulted
+ * (the run then costs nothing extra).
+ */
+struct RunInstrumentation
+{
+    /** Per-event timeline recorder (nullptr = off). */
+    EventTimeline *timeline = nullptr;
+    /** Interval sampling periods; disabled unless a period is set. */
+    IntervalConfig interval;
+    /** Receives the sampled series when interval.enabled(). */
+    IntervalSeries *intervalSeries = nullptr;
+    /** Receives warmup/sim/report wall-clock spans (nullptr = off). */
+    HostCellProfile *hostProfile = nullptr;
+};
+
 /** One-shot simulator: construct with a config, run workloads. */
 class Simulator
 {
@@ -85,6 +103,10 @@ class Simulator
      */
     SimResult run(const Workload &workload,
                   EventTimeline *timeline) const;
+
+    /** Same, with the full instrumentation surface attached. */
+    SimResult run(const Workload &workload,
+                  const RunInstrumentation &inst) const;
 
   private:
     SimConfig config_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/job_pool.hh"
 #include "sim/simulator.hh"
 #include "workload/app_profile.hh"
 
@@ -49,6 +50,11 @@ struct SuiteRow
      * Empty vector (the common all-good case) means no cell failed.
      */
     std::vector<CellError> errors;
+    /**
+     * Index-aligned host wall-clock profiles; only populated when
+     * the runner was asked to profile (SuiteRunner::setProfiling).
+     */
+    std::vector<HostCellProfile> profiles;
 
     /** Did the cell for config index @p c produce a valid result? */
     bool
@@ -92,6 +98,19 @@ class SuiteRunner
     unsigned jobs() const { return jobs_; }
 
     /**
+     * Record per-cell host wall-clock profiles (generation, warmup,
+     * simulation, reporting) into SuiteRow::profiles, and capture the
+     * JobPool's utilization counters (lastPoolUsage()). Off by
+     * default: profiled stats are wall-clock facts about this machine
+     * and must never leak into deterministic artifacts.
+     */
+    void setProfiling(bool on) { profiling_ = on; }
+    bool profiling() const { return profiling_; }
+
+    /** Pool utilization of the most recent run() (profiling only). */
+    const JobPoolUsage &lastPoolUsage() const { return lastUsage_; }
+
+    /**
      * Simulate every config on every app. Each app's workload is
      * generated once and shared read-only across that app's config
      * jobs (and released as soon as the app's last point completes,
@@ -113,6 +132,8 @@ class SuiteRunner
   private:
     std::vector<AppProfile> apps_;
     unsigned jobs_ = 0; //!< 0 = JobPool::defaultJobs()
+    bool profiling_ = false;
+    mutable JobPoolUsage lastUsage_;
 };
 
 /**

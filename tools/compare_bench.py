@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two espsim bench artifacts for throughput regressions.
+
+Reads two `espsim-bench-artifact` JSON files (espsim bench) — a
+baseline and a candidate — and compares the simulator's throughput on
+every (app, config) cell they share: simulated cycles/sec, events/sec,
+and the overall suite wall time. A cell counts as a regression when
+the candidate is slower than the baseline by more than --rel-tol.
+
+Wall-clock numbers are noisy, so the gate is deliberately loose by
+default (25%) and cells faster than --min-wall-ms are skipped
+entirely: a 3 ms cell's throughput is dominated by scheduler jitter,
+and a gate that cries wolf gets deleted. Pin --repeat on the producing
+`espsim bench` run to tighten the numbers before tightening the
+tolerance.
+
+Standard library only, so it runs anywhere the repo builds.
+
+Usage:
+    compare_bench.py BASELINE.json CANDIDATE.json [--rel-tol F]
+        [--min-wall-ms MS] [--ignore-config-hash]
+
+Exit code 0 when no shared cell regressed, 1 on a regression or a
+config-hash mismatch, 2 when either artifact cannot be loaded.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_bench(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "espsim-bench-artifact":
+        raise ValueError(f"{path}: not an espsim-bench-artifact")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ValueError(f"{path}: cells missing or empty")
+    return doc
+
+
+def slowdown(base, cand):
+    """Fractional slowdown of candidate vs baseline (+ = slower)."""
+    return 0.0 if base <= 0 else (base - cand) / base
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff two espsim bench artifacts")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--rel-tol", type=float, default=0.25,
+                        help="allowed fractional slowdown per metric "
+                             "(default 0.25)")
+    parser.add_argument("--min-wall-ms", type=float, default=20.0,
+                        help="skip cells faster than this in either "
+                             "artifact (default 20 ms)")
+    parser.add_argument("--ignore-config-hash", action="store_true",
+                        help="compare despite different config sets")
+    args = parser.parse_args(argv)
+
+    try:
+        base_doc = load_bench(args.baseline)
+        cand_doc = load_bench(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    base_hash = base_doc.get("manifest", {}).get("config_hash")
+    cand_hash = cand_doc.get("manifest", {}).get("config_hash")
+    if base_hash != cand_hash and not args.ignore_config_hash:
+        print(f"config hash mismatch: baseline {base_hash}, "
+              f"candidate {cand_hash} (different design points; "
+              "rerun espsim bench or pass --ignore-config-hash)",
+              file=sys.stderr)
+        return 1
+
+    base_cells = {(c["app"], c["config"]): c
+                  for c in base_doc["cells"]}
+    cand_cells = {(c["app"], c["config"]): c
+                  for c in cand_doc["cells"]}
+    shared = sorted(base_cells.keys() & cand_cells.keys())
+    if not shared:
+        print("error: the artifacts share no (app, config) cells",
+              file=sys.stderr)
+        return 2
+
+    regressions = 0
+    compared = 0
+    skipped = 0
+    for key in shared:
+        base, cand = base_cells[key], cand_cells[key]
+        name = f"{key[0]}/{key[1]}"
+        if (base["wall_ms"] < args.min_wall_ms
+                or cand["wall_ms"] < args.min_wall_ms):
+            skipped += 1
+            continue
+        compared += 1
+        for metric in ("cycles_per_sec", "events_per_sec"):
+            slow = slowdown(base[metric], cand[metric])
+            marker = ""
+            if slow > args.rel_tol:
+                regressions += 1
+                marker = "  REGRESSION"
+            print(f"{name:<24} {metric:<16} "
+                  f"{base[metric]:>14.0f} -> {cand[metric]:>14.0f} "
+                  f"({-100 * slow:+.1f}%){marker}")
+
+    # Suite wall regresses when the *candidate* takes longer.
+    base_wall = base_doc.get("suite_wall_ms", 0.0)
+    cand_wall = cand_doc.get("suite_wall_ms", 0.0)
+    wall_slow = (cand_wall - base_wall) / base_wall if base_wall else 0.0
+    marker = ""
+    if wall_slow > args.rel_tol:
+        regressions += 1
+        marker = "  REGRESSION"
+    print(f"{'suite':<24} {'wall_ms':<16} "
+          f"{base_doc.get('suite_wall_ms', 0):>14.0f} -> "
+          f"{cand_doc.get('suite_wall_ms', 0):>14.0f}{marker}")
+
+    print(f"compared {compared} cells ({skipped} below "
+          f"--min-wall-ms), {regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,42 @@
+# Self-test of the bench regression gate (tools/compare_bench.py):
+#   - an artifact compared against itself must pass (exit 0),
+#   - a copy with every throughput metric halved must be rejected
+#     (exit 1) — proving the gate actually bites.
+# Invoked as:
+#   cmake -DPYTHON=<python3> -DCOMPARE=<compare_bench.py>
+#       -DBENCH=<bench.json> -DWORK_DIR=<dir> -P this-file
+
+execute_process(
+    COMMAND ${PYTHON} ${COMPARE} ${BENCH} ${BENCH} --min-wall-ms 0
+    RESULT_VARIABLE self_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT self_rc EQUAL 0)
+    message(FATAL_ERROR
+        "self-compare must exit 0, got '${self_rc}'")
+endif()
+
+set(PERTURBED ${WORK_DIR}/bench_perturbed.json)
+execute_process(
+    COMMAND ${PYTHON} -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for cell in doc['cells']:
+    cell['wall_ms'] *= 2.0
+    cell['cycles_per_sec'] /= 2.0
+    cell['events_per_sec'] /= 2.0
+doc['suite_wall_ms'] *= 2.0
+json.dump(doc, open(sys.argv[2], 'w'))
+" ${BENCH} ${PERTURBED}
+    RESULT_VARIABLE perturb_rc)
+if(NOT perturb_rc EQUAL 0)
+    message(FATAL_ERROR "perturbing the artifact failed")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${COMPARE} ${BENCH} ${PERTURBED} --min-wall-ms 0
+    RESULT_VARIABLE slow_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(NOT slow_rc EQUAL 1)
+    message(FATAL_ERROR
+        "a 2x slowdown must exit 1, got '${slow_rc}'")
+endif()

@@ -5,8 +5,13 @@
  *   espsim run   --app amazon --config ESP+NL [--stats]
  *   espsim run   --trace file.espw --config NL+S
  *   espsim run   --app bing --timeline out.trace.json
+ *                [--timeline-limit N]
+ *   espsim run   --app bing --sample-cycles N [--sample-events K]
+ *                [--json [path]]
  *   espsim suite --configs base,NL,ESP+NL [--jobs N] [--apps a,b]
- *                [--json [path]] [--csv [path]]
+ *                [--json [path]] [--csv [path]] [--profile]
+ *   espsim bench [--out path] [--apps a,b] [--configs a,b]
+ *                [--repeat N] [--events N]
  *   espsim gen   --app gmaps --out gmaps.espw [--events N]
  *   espsim diff  baseline.json candidate.json [--rel-tol F]
  *                [--abs-tol F] [--headline a,b] [--max-rows N]
@@ -14,6 +19,9 @@
  *   espsim fuzz  [--runs N] [--seed S] [--verbose]
  *   espsim list  (apps and configs)
  *   espsim --version
+ *
+ * Every subcommand accepts --log-level error|warn|info|debug (also
+ * the ESPSIM_LOG environment variable); run chatter is gated at info.
  *
  * Tables and results print to stdout; run chatter (manifest, artifact
  * notes) goes to stderr. Exit code 0 on success, 1 on usage errors,
@@ -38,11 +46,16 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "check/fuzz.hh"
+#include "common/log.hh"
 #include "common/table.hh"
 #include "common/version.hh"
 #include "report/artifact.hh"
 #include "report/diff.hh"
+#include "report/host_profile.hh"
+#include "report/interval.hh"
 #include "report/timeline.hh"
 #include "sim/stats_report.hh"
 #include "trace/trace_io.hh"
@@ -78,8 +91,12 @@ usage()
         "usage:\n"
         "  espsim run   --app <name>|--trace <file> --config <name> "
         "[--stats] [--timeline <file>]\n"
+        "               [--timeline-limit N] [--sample-cycles N] "
+        "[--sample-events K] [--json [path]]\n"
         "  espsim suite [--configs a,b,c] [--apps a,b] [--jobs N] "
-        "[--json [path]] [--csv [path]]\n"
+        "[--json [path]] [--csv [path]] [--profile]\n"
+        "  espsim bench [--out <path>] [--apps a,b] [--configs a,b] "
+        "[--repeat N] [--events N]\n"
         "  espsim gen   --app <name> --out <file> [--events N]\n"
         "  espsim diff  <baseline.json> <candidate.json> "
         "[--rel-tol F] [--abs-tol F]\n"
@@ -87,7 +104,8 @@ usage()
         "[--ignore-config-hash]\n"
         "  espsim fuzz  [--runs N] [--seed S] [--verbose]\n"
         "  espsim list\n"
-        "  espsim --version");
+        "  espsim --version\n"
+        "global: --log-level error|warn|info|debug (or ESPSIM_LOG)");
     return 1;
 }
 
@@ -138,8 +156,8 @@ parseDoubleOption(const std::string &value, const char *flag)
 void
 printRunManifest()
 {
-    std::fprintf(stderr, "# espsim %s (%s build)\n", versionString(),
-                 buildTypeString());
+    logLine(LogLevel::Info, "# espsim %s (%s build)", versionString(),
+            buildTypeString());
 }
 
 /** Minimal flag parser: --key value pairs after the subcommand. */
@@ -217,8 +235,40 @@ cmdRun(const std::map<std::string, std::string> &flags)
     EventTimeline timeline;
     const auto tl_it = flags.find("timeline");
     const bool want_timeline = tl_it != flags.end();
-    const SimResult r = Simulator(*config).run(
-        *workload, want_timeline ? &timeline : nullptr);
+    if (auto it = flags.find("timeline-limit"); it != flags.end()) {
+        timeline.setEventLimit(static_cast<std::size_t>(
+            parseUnsignedOption(it->second, "timeline-limit")));
+    }
+    // Timelines stream to disk record-by-record so a long run never
+    // buffers its whole trace; the bytes match buffered rendering.
+    if (want_timeline && !timeline.streamTo(tl_it->second)) {
+        std::fprintf(stderr, "cannot write timeline '%s'\n",
+                     tl_it->second.c_str());
+        return 1;
+    }
+
+    RunInstrumentation inst;
+    inst.timeline = want_timeline ? &timeline : nullptr;
+    if (auto it = flags.find("sample-cycles"); it != flags.end()) {
+        inst.interval.sampleCycles =
+            parseUnsignedOption(it->second, "sample-cycles");
+    }
+    if (auto it = flags.find("sample-events"); it != flags.end()) {
+        inst.interval.sampleEvents =
+            parseUnsignedOption(it->second, "sample-events");
+    }
+    const auto json_it = flags.find("json");
+    if (json_it != flags.end() && !inst.interval.enabled()) {
+        std::fprintf(stderr,
+                     "--json needs --sample-cycles and/or "
+                     "--sample-events\n");
+        return 1;
+    }
+    IntervalSeries series;
+    if (inst.interval.enabled())
+        inst.intervalSeries = &series;
+
+    const SimResult r = Simulator(*config).run(*workload, inst);
     std::printf("%s on %s: %llu cycles, IPC %.3f, L1I-MPKI %.2f, "
                 "L1D-miss %.2f%%, BP-miss %.2f%%\n",
                 r.configName.c_str(), r.workloadName.c_str(),
@@ -228,17 +278,33 @@ cmdRun(const std::map<std::string, std::string> &flags)
     if (flags.count("stats"))
         std::fputs(r.stats.dump("  ").c_str(), stdout);
     if (want_timeline) {
-        if (!timeline.writeChromeTrace(tl_it->second)) {
+        if (!timeline.closeStream()) {
             std::fprintf(stderr, "cannot write timeline '%s'\n",
                          tl_it->second.c_str());
             return 1;
         }
-        std::fprintf(stderr,
-                     "# wrote %s (%zu events, %zu stalls, %zu ESP "
-                     "windows) — load it in ui.perfetto.dev or "
-                     "chrome://tracing\n",
-                     tl_it->second.c_str(), timeline.numEvents(),
-                     timeline.numStalls(), timeline.numEspWindows());
+        logLine(LogLevel::Info,
+                "# wrote %s (%zu events, %zu stalls, %zu ESP "
+                "windows) — load it in ui.perfetto.dev or "
+                "chrome://tracing",
+                tl_it->second.c_str(), timeline.numEvents(),
+                timeline.numStalls(), timeline.numEspWindows());
+    }
+    if (json_it != flags.end()) {
+        const std::string path = json_it->second == "1"
+            ? "espsim_intervals.json"
+            : json_it->second;
+        ArtifactManifest manifest;
+        manifest.source = "espsim run";
+        if (!writeTextFile(path,
+                           renderIntervalSeriesJson(manifest, series))) {
+            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            return 1;
+        }
+        logLine(LogLevel::Info,
+                "# wrote %s (%zu intervals over %zu counters)",
+                path.c_str(), series.intervals.size(),
+                series.names.size());
     }
     return 0;
 }
@@ -294,7 +360,33 @@ cmdSuite(const std::map<std::string, std::string> &flags)
             parseUnsignedOption(it->second, "jobs");
         runner.setJobs(jobs >= 1 ? static_cast<unsigned>(jobs) : 1);
     }
-    const auto rows = runner.run(configs, true);
+    const bool profile = flags.count("profile") != 0;
+    runner.setProfiling(profile);
+    auto rows = runner.run(configs, true);
+    if (profile) {
+        for (SuiteRow &row : rows) {
+            for (std::size_t c = 0; c < configs.size(); ++c) {
+                if (!row.ok(c))
+                    continue;
+                const HostCellProfile &p = row.profiles[c];
+                mergeHostStats(row.results[c].stats, p);
+                logLine(LogLevel::Info,
+                        "# profile %s/%s: gen %.1f ms, warmup %.1f "
+                        "ms, sim %.1f ms, report %.1f ms (total %.1f "
+                        "ms)",
+                        row.app.c_str(), configs[c].name.c_str(),
+                        p.genMs, p.warmupMs, p.simMs, p.reportMs,
+                        p.totalMs());
+            }
+        }
+        const JobPoolUsage &u = runner.lastPoolUsage();
+        logLine(LogLevel::Info,
+                "# pool: %zu jobs on %u threads, queue HWM %zu, busy "
+                "%.1f%%, %.1f jobs/s, wall %.0f ms, peak RSS %.1f MiB",
+                u.jobsCompleted, u.threads, u.queueDepthHighWater,
+                100.0 * u.busyFraction(), u.jobsPerSec(), u.wallMs,
+                peakRssMb());
+    }
     TextTable table("suite results (cycles; % improvement over first "
                     "config)");
     std::vector<std::string> header{"app"};
@@ -345,12 +437,17 @@ cmdSuite(const std::map<std::string, std::string> &flags)
     if (const std::string path =
             artifactPath("json", "espsim_suite.json");
         !path.empty()) {
-        if (!writeTextFile(path, renderSuiteArtifactJson(
-                                     manifest, configs, rows))) {
+        // The host block rides along only under --profile; clean
+        // artifacts stay byte-identical to the deterministic baseline.
+        if (!writeTextFile(
+                path,
+                renderSuiteArtifactJson(
+                    manifest, configs, rows,
+                    profile ? &runner.lastPoolUsage() : nullptr))) {
             std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
             return 1;
         }
-        std::fprintf(stderr, "# wrote %s\n", path.c_str());
+        logLine(LogLevel::Info, "# wrote %s", path.c_str());
     }
     if (const std::string path = artifactPath("csv", "espsim_suite.csv");
         !path.empty()) {
@@ -359,11 +456,134 @@ cmdSuite(const std::map<std::string, std::string> &flags)
             std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
             return 1;
         }
-        std::fprintf(stderr, "# wrote %s\n", path.c_str());
+        logLine(LogLevel::Info, "# wrote %s", path.c_str());
     }
     // Degraded sweeps exit non-zero so CI notices, even though every
     // healthy cell completed and the artifacts were still written.
     return suiteHasErrors(rows) ? 1 : 0;
+}
+
+/**
+ * `espsim bench` — simulator-throughput micro-suite. Runs a pinned
+ * (config, app) grid strictly serially (one cell at a time, so cells
+ * never steal each other's CPU), records the best-of---repeat wall
+ * time per cell, and writes a BENCH_<git-describe>.json artifact
+ * that tools/compare_bench.py can diff across commits.
+ */
+int
+cmdBench(const std::map<std::string, std::string> &flags)
+{
+    // Pinned defaults: the slowest and the most instrumented design
+    // points bound the simulator's throughput envelope.
+    std::vector<std::string> names{"base", "ESP+NL"};
+    if (auto it = flags.find("configs"); it != flags.end()) {
+        names.clear();
+        std::stringstream ss(it->second);
+        std::string token;
+        while (std::getline(ss, token, ','))
+            names.push_back(token);
+    }
+    std::vector<SimConfig> configs;
+    for (const std::string &name : names) {
+        const auto cfg = lookupConfig(name);
+        if (!cfg)
+            return 1;
+        configs.push_back(*cfg);
+    }
+
+    std::vector<AppProfile> apps = AppProfile::webSuite();
+    if (auto it = flags.find("apps"); it != flags.end()) {
+        std::vector<AppProfile> picked;
+        std::stringstream ss(it->second);
+        std::string token;
+        while (std::getline(ss, token, ',')) {
+            bool found = false;
+            for (const AppProfile &p : apps) {
+                if (p.name == token) {
+                    picked.push_back(p);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr,
+                             "unknown app '%s' (try: espsim list)\n",
+                             token.c_str());
+                return 1;
+            }
+        }
+        apps = std::move(picked);
+    }
+
+    unsigned long repeat = 1;
+    if (auto it = flags.find("repeat"); it != flags.end())
+        repeat = parseUnsignedOption(it->second, "repeat");
+    if (repeat == 0)
+        repeat = 1;
+    unsigned long events_override = 0;
+    if (auto it = flags.find("events"); it != flags.end())
+        events_override = parseUnsignedOption(it->second, "events");
+
+    printRunManifest();
+    using Clock = std::chrono::steady_clock;
+    const auto suite_start = Clock::now();
+
+    BenchReport report;
+    report.configHash = configsHash(configs);
+    report.jobs = 1; // serial by design: cells must not contend
+    report.repeat = static_cast<unsigned>(repeat);
+    for (AppProfile profile : apps) {
+        if (events_override > 0)
+            profile.numEvents = events_override;
+        const auto workload = SyntheticGenerator(profile).generate();
+        for (const SimConfig &cfg : configs) {
+            BenchCell cell;
+            cell.app = profile.name;
+            cell.config = cfg.name;
+            cell.simEvents = workload->numEvents();
+            cell.instructions = workload->totalInstructions();
+            for (unsigned long rep = 0; rep < repeat; ++rep) {
+                const auto t0 = Clock::now();
+                const SimResult r = Simulator(cfg).run(*workload);
+                const double wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count();
+                cell.simCycles = r.cycles;
+                // Best-of-N: the minimum is the least noisy estimate
+                // of the machine's actual throughput.
+                if (rep == 0 || wall_ms < cell.wallMs)
+                    cell.wallMs = wall_ms;
+            }
+            logLine(LogLevel::Info,
+                    "# bench %s/%s: %.1f ms, %.2f Mcycles/s, %.1f "
+                    "kevents/s",
+                    cell.app.c_str(), cell.config.c_str(), cell.wallMs,
+                    cell.cyclesPerSec() / 1e6,
+                    cell.eventsPerSec() / 1e3);
+            report.cells.push_back(std::move(cell));
+        }
+    }
+    report.suiteWallMs = std::chrono::duration<double, std::milli>(
+                             Clock::now() - suite_start)
+                             .count();
+    report.peakRssMb = peakRssMb();
+
+    std::string path = std::string("BENCH_") + versionString() + ".json";
+    if (auto it = flags.find("out"); it != flags.end())
+        path = it->second;
+    ArtifactManifest manifest;
+    manifest.source = "espsim bench";
+    if (!writeTextFile(path, renderBenchArtifactJson(manifest, report))) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return 1;
+    }
+    logLine(LogLevel::Info,
+            "# wrote %s (%zu cells, suite wall %.0f ms, peak RSS %.1f "
+            "MiB)",
+            path.c_str(), report.cells.size(), report.suiteWallMs,
+            report.peakRssMb);
+    return 0;
 }
 
 int
@@ -425,6 +645,8 @@ cmdDiff(int argc, char **argv)
                 opts.headlineStats.push_back(token);
         } else if (arg == "--ignore-config-hash") {
             opts.ignoreConfigHash = true;
+        } else if (arg == "--log-level") {
+            value(); // consumed by main()'s pre-scan
         } else {
             std::fprintf(stderr, "unknown diff flag '%s'\n",
                          arg.c_str());
@@ -463,6 +685,22 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
+    // --log-level applies to every subcommand, so resolve it before
+    // dispatch; the per-command flag parsers see it as a no-op pair.
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--log-level") == 0) {
+            LogLevel level;
+            if (!parseLogLevel(argv[i + 1], level)) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --log-level "
+                             "(expected error|warn|info|debug)\n",
+                             argv[i + 1]);
+                usage();
+                return 2;
+            }
+            setLogLevel(level);
+        }
+    }
     const std::string cmd = argv[1];
     if (cmd == "--version" || cmd == "version") {
         std::printf("espsim %s (%s build)\n", versionString(),
@@ -478,6 +716,8 @@ main(int argc, char **argv)
         return cmdRun(flags);
     if (cmd == "suite")
         return cmdSuite(flags);
+    if (cmd == "bench")
+        return cmdBench(flags);
     if (cmd == "gen")
         return cmdGen(flags);
     if (cmd == "fuzz")

@@ -40,3 +40,15 @@ execute_process(
 if(NOT run_rc EQUAL 0)
     message(FATAL_ERROR "espsim run --timeline failed (${run_rc})")
 endif()
+
+# Time-resolved counter series; the validator checks the exact
+# baseline + Σ deltas == final closure, not just the schema.
+execute_process(
+    COMMAND ${ESPSIM_CLI} run --app amazon --config ESP+NL
+        --sample-cycles 50000 --sample-events 4
+        --json ${ARTIFACT_DIR}/intervals.json
+    RESULT_VARIABLE intervals_rc)
+if(NOT intervals_rc EQUAL 0)
+    message(FATAL_ERROR
+        "espsim run --sample-cycles failed (${intervals_rc})")
+endif()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Render phase plots from an interval-series artifact.
+
+Reads an `espsim-interval-series` JSON file (espsim run
+--sample-cycles N --json) and prints an ASCII time series of derived
+per-interval metrics: how IPC, the L1-I MPKI, the L1-D miss rate and
+ESP pre-execution occupancy evolve over the run. End-of-run aggregates
+(the paper's figures) hide phase behaviour — a warmup transient, a
+pointer-chasing stretch, an ESP window that only pays off mid-run;
+this is the tool that shows it.
+
+All metrics are computed here from the raw counter deltas — the
+artifact stores only monotone counters (see src/report/interval.hh),
+never rates, so any consumer can derive exactly the ratio it wants.
+
+Standard library only, so it runs anywhere the repo builds.
+
+Usage:
+    plot_intervals.py SERIES.json [--metric NAME] [--width N]
+
+Exit code 0 on success, 1 on a malformed artifact or an unknown
+metric name.
+"""
+
+import argparse
+import json
+import sys
+
+BAR_WIDTH = 50
+
+
+def _ratio(deltas, num, den, scale=1.0):
+    d = deltas.get(den, 0.0)
+    return scale * deltas.get(num, 0.0) / d if d else 0.0
+
+
+# name -> (description, fn(deltas) -> value)
+METRICS = {
+    "ipc": ("instructions per cycle",
+            lambda d: _ratio(d, "core.instructions", "core.cycles")),
+    "l1i_mpki": ("L1-I misses per kilo-instruction",
+                 lambda d: _ratio(d, "mem.l1i.misses",
+                                  "core.instructions", 1000.0)),
+    "l1d_miss_rate": ("L1-D miss fraction",
+                      lambda d: _ratio(d, "mem.l1d.misses",
+                                       "mem.l1d.accesses")),
+    "esp_occupancy": ("ESP pre-execution cycles per cycle",
+                      lambda d: _ratio(d, "core.cycle_bucket.esp_pre_exec",
+                                       "core.cycles")),
+    "events_per_interval": ("events retired in the interval",
+                            lambda d: d.get("core.events", 0.0)),
+}
+
+
+def load_series(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "espsim-interval-series":
+        raise ValueError(f"{path}: not an espsim-interval-series")
+    names = doc.get("names")
+    intervals = doc.get("intervals")
+    if not isinstance(names, list) or not isinstance(intervals, list):
+        raise ValueError(f"{path}: missing names/intervals")
+    return doc, names, intervals
+
+
+def plot_metric(name, doc, names, intervals, width):
+    description, fn = METRICS[name]
+    rows = []
+    for interval in intervals:
+        deltas = dict(zip(names, interval["deltas"]))
+        rows.append((interval["end_cycle"], fn(deltas)))
+    peak = max((value for _, value in rows), default=0.0)
+    manifest = doc.get("manifest", {})
+    print(f"{name} ({description}) — {manifest.get('config', '?')} on "
+          f"{manifest.get('workload', '?')}, {len(rows)} intervals")
+    for end_cycle, value in rows:
+        frac = value / peak if peak else 0.0
+        bar = "#" * round(frac * width)
+        print(f"  @{end_cycle:>12} {value:>10.4f}  {bar}")
+    print()
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="phase plots from an interval-series artifact")
+    parser.add_argument("artifact")
+    parser.add_argument("--metric", action="append",
+                        help="metric to plot (default: all); one of "
+                             + ", ".join(sorted(METRICS)))
+    parser.add_argument("--width", type=int, default=BAR_WIDTH,
+                        help="bar width in characters")
+    args = parser.parse_args(argv)
+
+    wanted = args.metric or sorted(METRICS)
+    for name in wanted:
+        if name not in METRICS:
+            print(f"error: unknown metric {name!r} (choose from "
+                  f"{', '.join(sorted(METRICS))})", file=sys.stderr)
+            return 1
+
+    try:
+        doc, names, intervals = load_series(args.artifact)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if not intervals:
+        print("error: artifact has no intervals (run long enough for "
+              "at least one sample period)", file=sys.stderr)
+        return 1
+
+    for name in wanted:
+        plot_metric(name, doc, names, intervals, args.width)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,9 +3,14 @@
 
 Checks the schema of the JSON artifacts the simulator's binaries
 write — suite artifacts (espsim suite / figure binaries --json), table
-artifacts (descriptive figures --json), and Chrome-trace timelines
-(espsim run --timeline). Standard library only, so it runs anywhere
-the repo builds.
+artifacts (descriptive figures --json), Chrome-trace timelines
+(espsim run --timeline), interval series (espsim run --sample-cycles
+--json), and bench artifacts (espsim bench). Standard library only,
+so it runs anywhere the repo builds.
+
+Interval series are checked semantically, not just structurally: for
+every counter, baseline + sum(interval deltas) must equal the final
+snapshot exactly (the deltas telescope; see src/report/interval.hh).
 
 Usage:
     validate_artifact.py ARTIFACT.json [ARTIFACT2.json ...]
@@ -19,6 +24,8 @@ import sys
 
 SUITE_SCHEMA = "espsim-suite-artifact"
 TABLE_SCHEMA = "espsim-table-artifact"
+INTERVAL_SCHEMA = "espsim-interval-series"
+BENCH_SCHEMA = "espsim-bench-artifact"
 SUPPORTED_FORMAT_VERSIONS = {1}
 
 
@@ -132,6 +139,140 @@ def validate_table(doc, problems):
     return problems
 
 
+def _check_snapshot(doc, key, n_names, problems):
+    """Validate a {cycle, events, values} snapshot block."""
+    snap = doc.get(key)
+    if not isinstance(snap, dict):
+        _fail(problems, f"{key} missing or not an object")
+        return None
+    for field in ("cycle", "events"):
+        value = snap.get(field)
+        if not isinstance(value, int) or value < 0:
+            _fail(problems,
+                  f"{key}.{field} is not a non-negative integer")
+    values = snap.get("values")
+    if not isinstance(values, list) or len(values) != n_names:
+        _fail(problems, f"{key}.values length != names length")
+        return None
+    if not all(isinstance(v, (int, float)) for v in values):
+        _fail(problems, f"{key}.values not all numeric")
+        return None
+    return snap
+
+
+def validate_interval_series(doc, problems):
+    _check_manifest(doc, problems, want_hash=True)
+    manifest = doc.get("manifest", {})
+    for key in ("config", "workload"):
+        if (not isinstance(manifest.get(key), str)
+                or not manifest[key]):
+            _fail(problems, f"manifest.{key} missing or empty")
+    periods = []
+    for key in ("sample_cycles", "sample_events"):
+        value = manifest.get(key)
+        if not isinstance(value, int) or value < 0:
+            _fail(problems,
+                  f"manifest.{key} is not a non-negative integer")
+        else:
+            periods.append(value)
+    if periods and not any(periods):
+        _fail(problems, "neither sampling period is enabled")
+
+    names = doc.get("names")
+    if not isinstance(names, list) or not names:
+        return _fail(problems, "names missing or empty")
+    if sorted(names) != names:
+        _fail(problems, "names are not sorted")
+
+    baseline = _check_snapshot(doc, "baseline", len(names), problems)
+    final = _check_snapshot(doc, "final", len(names), problems)
+
+    intervals = doc.get("intervals")
+    if not isinstance(intervals, list):
+        return _fail(problems, "intervals missing")
+    prev_cycle = baseline["cycle"] if baseline else 0
+    prev_events = baseline["events"] if baseline else 0
+    acc = list(baseline["values"]) if baseline else None
+    for i, interval in enumerate(intervals):
+        where = f"intervals[{i}]"
+        if not isinstance(interval, dict):
+            _fail(problems, f"{where} is not an object")
+            acc = None
+            continue
+        end_cycle = interval.get("end_cycle")
+        end_events = interval.get("end_events")
+        if not isinstance(end_cycle, int) or end_cycle < prev_cycle:
+            _fail(problems, f"{where}.end_cycle is not monotone")
+        else:
+            prev_cycle = end_cycle
+        if not isinstance(end_events, int) or end_events < prev_events:
+            _fail(problems, f"{where}.end_events is not monotone")
+        else:
+            prev_events = end_events
+        deltas = interval.get("deltas")
+        if (not isinstance(deltas, list)
+                or len(deltas) != len(names)
+                or not all(isinstance(v, (int, float))
+                           for v in deltas)):
+            _fail(problems,
+                  f"{where}.deltas not numeric or wrong length")
+            acc = None
+            continue
+        if acc is not None:
+            acc = [a + d for a, d in zip(acc, deltas)]
+    # The telescoping invariant: deltas must sum to the final
+    # snapshot *exactly* — counters are uint64-backed and < 2^53.
+    if acc is not None and final is not None:
+        for name, got, want in zip(names, acc, final["values"]):
+            if got != want:
+                _fail(problems,
+                      f"delta closure violated for {name!r}: "
+                      f"baseline+deltas={got}, final={want}")
+    if final is not None and intervals and acc is not None:
+        last = intervals[-1]
+        if (isinstance(last, dict)
+                and last.get("end_cycle") != final["cycle"]):
+            _fail(problems,
+                  "last interval end_cycle != final.cycle")
+    return problems
+
+
+def validate_bench(doc, problems):
+    _check_manifest(doc, problems, want_hash=True)
+    manifest = doc.get("manifest", {})
+    for key in ("jobs", "repeat"):
+        value = manifest.get(key)
+        if not isinstance(value, int) or value < 1:
+            _fail(problems,
+                  f"manifest.{key} is not a positive integer")
+    for key in ("suite_wall_ms", "peak_rss_mb"):
+        value = doc.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            _fail(problems, f"{key} is not a non-negative number")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return _fail(problems, "cells missing or empty")
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        for key in ("app", "config"):
+            if not isinstance(cell.get(key), str) or not cell[key]:
+                _fail(problems, f"{where}.{key} missing or empty")
+        for key in ("sim_cycles", "sim_events", "instructions"):
+            value = cell.get(key)
+            if not isinstance(value, int) or value < 0:
+                _fail(problems,
+                      f"{where}.{key} is not a non-negative integer")
+        for key in ("wall_ms", "cycles_per_sec", "events_per_sec"):
+            value = cell.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                _fail(problems,
+                      f"{where}.{key} is not a non-negative number")
+    return problems
+
+
 def validate_timeline(doc, problems):
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -189,13 +330,17 @@ def validate(path):
         return validate_timeline(doc, problems)
 
     schema = doc.get("schema")
-    if schema not in (SUITE_SCHEMA, TABLE_SCHEMA):
+    handlers = {
+        SUITE_SCHEMA: validate_suite,
+        TABLE_SCHEMA: validate_table,
+        INTERVAL_SCHEMA: validate_interval_series,
+        BENCH_SCHEMA: validate_bench,
+    }
+    if schema not in handlers:
         return _fail(problems, f"unknown schema {schema!r}")
     if doc.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
         _fail(problems, "unsupported format_version")
-    if schema == SUITE_SCHEMA:
-        return validate_suite(doc, problems)
-    return validate_table(doc, problems)
+    return handlers[schema](doc, problems)
 
 
 def main(argv):
