@@ -66,11 +66,11 @@ BM_BranchPredict(benchmark::State &state)
     PentiumMPredictor bp;
     Rng rng(7);
     MicroOp op;
-    op.type = OpType::BranchCond;
+    op.setType(OpType::BranchCond);
     for (auto _ : state) {
         op.pc = 0x1000 + 4 * rng.below(4096);
-        op.taken = rng.chance(0.7);
-        op.branchTarget = op.taken ? op.pc + 16 : 0;
+        op.setTaken(rng.chance(0.7));
+        op.setBranchTarget(op.taken() ? op.pc + 16 : 0);
         benchmark::DoNotOptimize(bp.executeBranch(op));
     }
     state.SetItemsProcessed(state.iterations());

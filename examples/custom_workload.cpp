@@ -86,11 +86,11 @@ main()
         // update wrote: its speculative pre-execution (which jumps
         // over the config event) diverges halfway through.
         packetEvent(b, seq++);
-        std::vector<MicroOp> wrong_path;
+        OpSequence wrong_path;
         for (unsigned i = 0; i < 120; ++i) {
             MicroOp op;
             op.pc = 0x70000 + 4 * i;
-            op.type = OpType::IntAlu;
+            op.setType(OpType::IntAlu);
             wrong_path.push_back(op);
         }
         b.dependsOnPrevious(b.currentEventSize() / 2,

@@ -7,65 +7,6 @@ LoopPredictor::LoopPredictor(std::size_t entries) : entries_(entries)
 {
 }
 
-std::size_t
-LoopPredictor::indexOf(Addr pc) const
-{
-    return static_cast<std::size_t>((pc >> 2) % entries_.size());
-}
-
-std::uint32_t
-LoopPredictor::tagOf(Addr pc) const
-{
-    return static_cast<std::uint32_t>((pc >> 2) / entries_.size()) &
-        0xffff;
-}
-
-std::optional<bool>
-LoopPredictor::predict(Addr pc) const
-{
-    const Entry &e = entries_[indexOf(pc)];
-    if (!e.valid || e.tag != tagOf(pc) || e.confidence < 2 ||
-        e.limit == 0) {
-        return std::nullopt;
-    }
-    // Predict not-taken exactly when the learned trip count is reached.
-    return e.current + 1 < e.limit;
-}
-
-void
-LoopPredictor::update(Addr pc, bool taken)
-{
-    Entry &e = entries_[indexOf(pc)];
-    const std::uint32_t tag = tagOf(pc);
-    if (!e.valid || e.tag != tag) {
-        // Allocate only on a not-taken outcome (potential loop exit);
-        // this filters never-exiting branches out of the small table.
-        if (!taken) {
-            e = Entry{};
-            e.tag = tag;
-            e.valid = true;
-        }
-        return;
-    }
-    if (taken) {
-        ++e.current;
-        if (e.current > 4096) {
-            // Not a loop we can track; drop it.
-            e.valid = false;
-        }
-        return;
-    }
-    const std::uint32_t trip = e.current + 1;
-    if (trip == e.limit) {
-        if (e.confidence < 3)
-            ++e.confidence;
-    } else {
-        e.limit = trip;
-        e.confidence = 0;
-    }
-    e.current = 0;
-}
-
 void
 LoopPredictor::reset()
 {

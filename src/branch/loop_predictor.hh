@@ -29,10 +29,54 @@ class LoopPredictor
      * Confident prediction for the branch at @p pc, or nullopt when
      * this branch isn't a recognised loop.
      */
-    std::optional<bool> predict(Addr pc) const;
+    std::optional<bool>
+    predict(Addr pc) const
+    {
+        const Entry &e = entries_[indexOf(pc)];
+        if (!e.valid || e.tag != tagOf(pc) || e.confidence < 2 ||
+            e.limit == 0) {
+            return std::nullopt;
+        }
+        // Predict not-taken exactly when the learned trip count is
+        // reached.
+        return e.current + 1 < e.limit;
+    }
 
     /** Observe the actual direction of the branch at @p pc. */
-    void update(Addr pc, bool taken);
+    void
+    update(Addr pc, bool taken)
+    {
+        Entry &e = entries_[indexOf(pc)];
+        const std::uint32_t tag = tagOf(pc);
+        if (!e.valid || e.tag != tag) {
+            // Allocate only on a not-taken outcome (potential loop
+            // exit); this filters never-exiting branches out of the
+            // small table.
+            if (!taken) {
+                e = Entry{};
+                e.tag = tag;
+                e.valid = true;
+            }
+            return;
+        }
+        if (taken) {
+            ++e.current;
+            if (e.current > 4096) {
+                // Not a loop we can track; drop it.
+                e.valid = false;
+            }
+            return;
+        }
+        const std::uint32_t trip = e.current + 1;
+        if (trip == e.limit) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else {
+            e.limit = trip;
+            e.confidence = 0;
+        }
+        e.current = 0;
+    }
 
     void reset();
 
@@ -48,8 +92,18 @@ class LoopPredictor
 
     std::vector<Entry> entries_;
 
-    std::size_t indexOf(Addr pc) const;
-    std::uint32_t tagOf(Addr pc) const;
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) % entries_.size());
+    }
+
+    std::uint32_t
+    tagOf(Addr pc) const
+    {
+        return static_cast<std::uint32_t>((pc >> 2) / entries_.size()) &
+            0xffff;
+    }
 };
 
 } // namespace espsim

@@ -18,6 +18,7 @@
 
 #include "branch/loop_predictor.hh"
 #include "branch/pir.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "report/stat_registry.hh"
 #include "trace/micro_op.hh"
@@ -76,16 +77,64 @@ class PentiumMPredictor
      * Predict, compare against the op's actual outcome, and update all
      * structures. ESP-mode pre-executions pass @p count_stats = false
      * so speculative branches don't pollute the mispredict-rate stats.
+     * Inline (with the whole predict/update chain below): both the
+     * normal pipeline and the spec pre-execution loop execute one of
+     * these per branch op.
      */
-    BranchResult executeBranch(const MicroOp &op,
-                               bool count_stats = true);
+    BranchResult
+    executeBranch(const MicroOp &op, bool count_stats = true)
+    {
+        if (count_stats)
+            ++stat_branches_;
+        const BranchPrediction pred = predict(ctx_, op);
+
+        BranchResult result = BranchResult::Correct;
+        switch (op.type()) {
+          case OpType::BranchCond:
+            if (pred.taken != op.taken())
+                result = BranchResult::Mispredict;
+            else if (op.taken() && pred.target != op.branchTarget())
+                result = BranchResult::BtbMiss;
+            break;
+          case OpType::BranchDirect:
+          case OpType::Call:
+            if (pred.target != op.branchTarget())
+                result = BranchResult::BtbMiss;
+            break;
+          case OpType::Return:
+          case OpType::BranchIndirect:
+            if (pred.target != op.branchTarget())
+                result = BranchResult::Mispredict;
+            break;
+          default:
+            panic("executeBranch() called on a non-branch op");
+        }
+
+        if (count_stats) {
+            if (result == BranchResult::Mispredict)
+                ++stat_mispredicts_;
+            else if (result == BranchResult::BtbMiss)
+                ++stat_btb_miss_;
+        }
+
+        if (op.type() == OpType::BranchCond) {
+            updateDirection(ctx_, op.pc, op.taken(),
+                            result == BranchResult::Mispredict,
+                            count_stats);
+        }
+        updateTargets(ctx_, op);
+        return result;
+    }
 
     /**
      * What would be predicted right now, with no state change. Used by
      * the runahead engine to detect wrong-path divergence on branches
      * whose outcome depends on the missing load.
      */
-    BranchPrediction predictOnly(const MicroOp &op) const;
+    BranchPrediction predictOnly(const MicroOp &op) const
+    {
+        return predict(ctx_, op);
+    }
 
     /**
      * Pre-train the tables with a known future outcome (ESP B-list
@@ -161,21 +210,201 @@ class PentiumMPredictor
     std::uint64_t stat_btb_miss_ = 0;
 
     // --- helpers ---------------------------------------------------
-    std::size_t globalIndex(const Pir &pir, Addr pc) const;
-    std::uint16_t globalTag(const Pir &pir, Addr pc) const;
-    std::size_t localIndex(Addr pc) const;
-    std::size_t btbIndex(Addr pc) const;
-    std::uint32_t btbTag(Addr pc) const;
-    std::size_t ibtbIndex(const Pir &pir, Addr pc) const;
-    std::uint32_t ibtbTag(const Pir &pir, Addr pc) const;
+    static std::uint64_t
+    hashMix(std::uint64_t v)
+    {
+        v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+        return v ^ (v >> 31);
+    }
 
-    bool predictDirection(const BpContext &ctx, Addr pc) const;
-    void updateDirection(BpContext &ctx, Addr pc, bool taken,
-                         bool final_pred_wrong, bool architectural);
-    void updateTargets(BpContext &ctx, const MicroOp &op);
-    BranchPrediction predict(const BpContext &ctx,
-                             const MicroOp &op) const;
-    static void bumpCounter(std::uint8_t &counter, bool taken);
+    std::size_t
+    globalIndex(const Pir &pir, Addr pc) const
+    {
+        return static_cast<std::size_t>(
+            hashMix(pir.value() ^ (pc >> 2)) % config_.globalEntries);
+    }
+
+    std::uint16_t
+    globalTag(const Pir &pir, Addr pc) const
+    {
+        return static_cast<std::uint16_t>(
+            hashMix((pc >> 2) * 31 + pir.value()) & 0xff);
+    }
+
+    std::size_t
+    localIndex(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) %
+                                        config_.localEntries);
+    }
+
+    std::size_t
+    btbIndex(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) % config_.btbEntries);
+    }
+
+    std::uint32_t
+    btbTag(Addr pc) const
+    {
+        return static_cast<std::uint32_t>((pc >> 2) /
+                                          config_.btbEntries) &
+            0xfffff;
+    }
+
+    std::size_t
+    ibtbIndex(const Pir &pir, Addr pc) const
+    {
+        return static_cast<std::size_t>(
+            hashMix(pir.value() * 7 ^ (pc >> 2)) % config_.ibtbEntries);
+    }
+
+    std::uint32_t
+    ibtbTag(const Pir &pir, Addr pc) const
+    {
+        return static_cast<std::uint32_t>(
+            hashMix((pc >> 2) ^ (pir.value() << 5)) & 0x3ff);
+    }
+
+    static void
+    bumpCounter(std::uint8_t &counter, bool taken)
+    {
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else if (counter > 0) {
+            --counter;
+        }
+    }
+
+    bool
+    predictDirection(const BpContext &ctx, Addr pc) const
+    {
+        if (auto loop_pred = loop_.predict(pc))
+            return *loop_pred;
+        const GlobalEntry &g = global_[globalIndex(ctx.pir, pc)];
+        if (g.valid && g.tag == globalTag(ctx.pir, pc))
+            return g.counter >= 2;
+        return local_[localIndex(pc)] >= 2;
+    }
+
+    void
+    updateDirection(BpContext &ctx, Addr pc, bool taken,
+                    bool final_pred_wrong, bool architectural)
+    {
+        // The loop predictor's trip counters are not idempotent: a
+        // branch instance must be counted exactly once, by its
+        // architectural execution. Speculative pre-execution (ESP
+        // modes, runahead) and ahead-of-time B-list training skip it.
+        if (architectural)
+            loop_.update(pc, taken);
+        bumpCounter(local_[localIndex(pc)], taken);
+        GlobalEntry &g = global_[globalIndex(ctx.pir, pc)];
+        const std::uint16_t tag = globalTag(ctx.pir, pc);
+        if (g.valid && g.tag == tag) {
+            bumpCounter(g.counter, taken);
+        } else if (final_pred_wrong) {
+            // Allocate on a misprediction, like the Pentium M's
+            // mispredict-driven global allocation.
+            g.valid = true;
+            g.tag = tag;
+            g.counter = taken ? 2 : 1;
+        }
+    }
+
+    void
+    updateTargets(BpContext &ctx, const MicroOp &op)
+    {
+        switch (op.type()) {
+          case OpType::BranchCond:
+            if (op.taken()) {
+                TargetEntry &e = btb_[btbIndex(op.pc)];
+                e.valid = true;
+                e.tag = btbTag(op.pc);
+                e.target = op.branchTarget();
+            }
+            break;
+          case OpType::BranchDirect:
+          case OpType::Call: {
+            TargetEntry &e = btb_[btbIndex(op.pc)];
+            e.valid = true;
+            e.tag = btbTag(op.pc);
+            e.target = op.branchTarget();
+            if (op.type() == OpType::Call) {
+                if (ctx.ras.size() >= config_.rasDepth)
+                    ctx.ras.erase(ctx.ras.begin());
+                ctx.ras.push_back(op.pc + 4);
+            }
+            break;
+          }
+          case OpType::Return:
+            if (!ctx.ras.empty())
+                ctx.ras.pop_back();
+            break;
+          case OpType::BranchIndirect: {
+            TargetEntry &ie = ibtb_[ibtbIndex(ctx.pir, op.pc)];
+            ie.valid = true;
+            ie.tag = ibtbTag(ctx.pir, op.pc);
+            ie.target = op.branchTarget();
+            TargetEntry &e = btb_[btbIndex(op.pc)];
+            e.valid = true;
+            e.tag = btbTag(op.pc);
+            e.target = op.branchTarget();
+            break;
+          }
+          default:
+            panic("updateTargets() called on a non-branch op");
+        }
+        if (op.taken())
+            ctx.pir.update(op.pc, op.branchTarget());
+    }
+
+    BranchPrediction
+    predict(const BpContext &ctx, const MicroOp &op) const
+    {
+        BranchPrediction pred;
+        switch (op.type()) {
+          case OpType::BranchCond: {
+            pred.taken = predictDirection(ctx, op.pc);
+            if (pred.taken) {
+                const TargetEntry &e = btb_[btbIndex(op.pc)];
+                if (e.valid && e.tag == btbTag(op.pc))
+                    pred.target = e.target;
+            }
+            break;
+          }
+          case OpType::BranchDirect:
+          case OpType::Call: {
+            pred.taken = true;
+            const TargetEntry &e = btb_[btbIndex(op.pc)];
+            if (e.valid && e.tag == btbTag(op.pc))
+                pred.target = e.target;
+            break;
+          }
+          case OpType::Return: {
+            pred.taken = true;
+            if (!ctx.ras.empty())
+                pred.target = ctx.ras.back();
+            break;
+          }
+          case OpType::BranchIndirect: {
+            pred.taken = true;
+            const TargetEntry &ie = ibtb_[ibtbIndex(ctx.pir, op.pc)];
+            if (ie.valid && ie.tag == ibtbTag(ctx.pir, op.pc)) {
+                pred.target = ie.target;
+            } else {
+                const TargetEntry &e = btb_[btbIndex(op.pc)];
+                if (e.valid && e.tag == btbTag(op.pc))
+                    pred.target = e.target;
+            }
+            break;
+          }
+          default:
+            panic("predict() called on a non-branch op");
+        }
+        return pred;
+    }
 };
 
 } // namespace espsim

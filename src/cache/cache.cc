@@ -18,113 +18,9 @@ SetAssocCache::SetAssocCache(CacheGeometry geometry)
     numSets_ = geometry_.numSets();
     if (numSets_ == 0)
         fatal("cache '%s': zero sets", geometry_.name.c_str());
+    if ((numSets_ & (numSets_ - 1)) == 0)
+        setMask_ = numSets_ - 1;
     lines_.resize(numSets_ * geometry_.assoc);
-}
-
-std::size_t
-SetAssocCache::setIndex(Addr addr) const
-{
-    return static_cast<std::size_t>(blockNumber(addr)) % numSets_;
-}
-
-SetAssocCache::Line *
-SetAssocCache::findLine(Addr addr)
-{
-    const Addr tag = tagOf(addr);
-    Line *set = &lines_[setIndex(addr) * geometry_.assoc];
-    for (unsigned w = 0; w < geometry_.assoc; ++w) {
-        if (set[w].valid && set[w].tag == tag)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-const SetAssocCache::Line *
-SetAssocCache::findLine(Addr addr) const
-{
-    return const_cast<SetAssocCache *>(this)->findLine(addr);
-}
-
-bool
-SetAssocCache::lookup(Addr addr)
-{
-    ++accesses_;
-    if (Line *line = findLine(addr)) {
-        line->lastUse = ++useClock_;
-        ++hits_;
-        return true;
-    }
-    return false;
-}
-
-bool
-SetAssocCache::contains(Addr addr) const
-{
-    return findLine(addr) != nullptr;
-}
-
-void
-SetAssocCache::insert(Addr addr, bool dirty)
-{
-    insertInWays(addr, 0, geometry_.assoc - 1, dirty);
-}
-
-std::optional<Addr>
-SetAssocCache::insertEvicting(Addr addr, bool dirty)
-{
-    return insertInWays(addr, 0, geometry_.assoc - 1, dirty);
-}
-
-std::optional<Addr>
-SetAssocCache::insertInWays(Addr addr, unsigned way_lo, unsigned way_hi,
-                            bool dirty)
-{
-    if (Line *line = findLine(addr)) {
-        line->lastUse = ++useClock_;
-        line->dirty = line->dirty || dirty;
-        return std::nullopt;
-    }
-    Line *set = &lines_[setIndex(addr) * geometry_.assoc];
-    Line *victim = &set[way_lo];
-    for (unsigned w = way_lo; w <= way_hi; ++w) {
-        if (!set[w].valid) {
-            victim = &set[w];
-            break;
-        }
-        if (set[w].lastUse < victim->lastUse)
-            victim = &set[w];
-    }
-    std::optional<Addr> evicted;
-    if (victim->valid)
-        evicted = victim->tag * blockBytes;
-    victim->tag = tagOf(addr);
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->lastUse = ++useClock_;
-    return evicted;
-}
-
-bool
-SetAssocCache::lookupInWays(Addr addr, unsigned way_lo, unsigned way_hi)
-{
-    ++accesses_;
-    const Addr tag = tagOf(addr);
-    Line *set = &lines_[setIndex(addr) * geometry_.assoc];
-    for (unsigned w = way_lo; w <= way_hi; ++w) {
-        if (set[w].valid && set[w].tag == tag) {
-            set[w].lastUse = ++useClock_;
-            ++hits_;
-            return true;
-        }
-    }
-    return false;
-}
-
-void
-SetAssocCache::writeHit(Addr addr)
-{
-    if (Line *line = findLine(addr))
-        line->dirty = true;
 }
 
 void

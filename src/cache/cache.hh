@@ -5,6 +5,12 @@
  * Tracks presence only (the simulator is trace driven, so no data
  * values are stored). Used for L1-I, L1-D, L2, and as the substrate of
  * the ESP cachelets.
+ *
+ * The lookup/fill methods live in the header: they are the innermost
+ * loop of every simulated memory access, and inlining them into the
+ * core's issue loop removes a call per access and lets the set index
+ * fold into a mask (set counts are powers of two for every real
+ * geometry; a modulo fallback covers odd test geometries).
  */
 
 #ifndef ESPSIM_CACHE_CACHE_HH
@@ -45,16 +51,34 @@ class SetAssocCache
      * hit.
      * @return true on hit.
      */
-    bool lookup(Addr addr);
+    bool
+    lookup(Addr addr)
+    {
+        ++accesses_;
+        if (Line *line = findLine(addr)) {
+            line->lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+        return false;
+    }
 
     /** Presence check without touching replacement state. */
-    bool contains(Addr addr) const;
+    bool
+    contains(Addr addr) const
+    {
+        return findLine(addr) != nullptr;
+    }
 
     /**
      * Fill the block containing @p addr (refreshes LRU if already
      * present). Evicts the set's LRU way if the set is full.
      */
-    void insert(Addr addr, bool dirty = false);
+    void
+    insert(Addr addr, bool dirty = false)
+    {
+        insertInWays(addr, 0, geometry_.assoc - 1, dirty);
+    }
 
     /**
      * insert() that reports the displaced block: the block-aligned
@@ -62,10 +86,19 @@ class SetAssocCache
      * a free way existed / the block was already present. The prefetch
      * lifecycle tracker keys pollution ("harmful") on this.
      */
-    std::optional<Addr> insertEvicting(Addr addr, bool dirty = false);
+    std::optional<Addr>
+    insertEvicting(Addr addr, bool dirty = false)
+    {
+        return insertInWays(addr, 0, geometry_.assoc - 1, dirty);
+    }
 
     /** Mark the block dirty if present. */
-    void writeHit(Addr addr);
+    void
+    writeHit(Addr addr)
+    {
+        if (Line *line = findLine(addr))
+            line->dirty = true;
+    }
 
     /** Drop every block. */
     void invalidateAll();
@@ -97,23 +130,86 @@ class SetAssocCache
 
     CacheGeometry geometry_;
     std::size_t numSets_;
+    std::size_t setMask_ = 0; //!< numSets_ - 1 when a power of two
     std::vector<Line> lines_; //!< numSets_ * assoc, set-major
     std::uint64_t useClock_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t hits_ = 0;
 
-    std::size_t setIndex(Addr addr) const;
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        const auto block = static_cast<std::size_t>(blockNumber(addr));
+        return setMask_ ? (block & setMask_) : (block % numSets_);
+    }
+
     Addr tagOf(Addr addr) const { return blockNumber(addr); }
-    Line *findLine(Addr addr);
-    const Line *findLine(Addr addr) const;
+
+    Line *
+    findLine(Addr addr)
+    {
+        const Addr tag = tagOf(addr);
+        Line *set = &lines_[setIndex(addr) * geometry_.assoc];
+        for (unsigned w = 0; w < geometry_.assoc; ++w) {
+            if (set[w].valid && set[w].tag == tag)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    findLine(Addr addr) const
+    {
+        return const_cast<SetAssocCache *>(this)->findLine(addr);
+    }
 
     /**
      * Fill restricted to ways [way_lo, way_hi]; used by Cachelet's way
      * reservation. @return the displaced block (see insertEvicting).
      */
-    std::optional<Addr> insertInWays(Addr addr, unsigned way_lo,
-                                     unsigned way_hi, bool dirty);
-    bool lookupInWays(Addr addr, unsigned way_lo, unsigned way_hi);
+    std::optional<Addr>
+    insertInWays(Addr addr, unsigned way_lo, unsigned way_hi, bool dirty)
+    {
+        if (Line *line = findLine(addr)) {
+            line->lastUse = ++useClock_;
+            line->dirty = line->dirty || dirty;
+            return std::nullopt;
+        }
+        Line *set = &lines_[setIndex(addr) * geometry_.assoc];
+        Line *victim = &set[way_lo];
+        for (unsigned w = way_lo; w <= way_hi; ++w) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+            if (set[w].lastUse < victim->lastUse)
+                victim = &set[w];
+        }
+        std::optional<Addr> evicted;
+        if (victim->valid)
+            evicted = victim->tag * blockBytes;
+        victim->tag = tagOf(addr);
+        victim->valid = true;
+        victim->dirty = dirty;
+        victim->lastUse = ++useClock_;
+        return evicted;
+    }
+
+    bool
+    lookupInWays(Addr addr, unsigned way_lo, unsigned way_hi)
+    {
+        ++accesses_;
+        const Addr tag = tagOf(addr);
+        Line *set = &lines_[setIndex(addr) * geometry_.assoc];
+        for (unsigned w = way_lo; w <= way_hi; ++w) {
+            if (set[w].valid && set[w].tag == tag) {
+                set[w].lastUse = ++useClock_;
+                ++hits_;
+                return true;
+            }
+        }
+        return false;
+    }
 };
 
 } // namespace espsim

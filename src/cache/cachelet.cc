@@ -15,37 +15,6 @@ Cachelet::Cachelet(CacheGeometry geometry)
 }
 
 void
-Cachelet::waysFor(EspDepth depth, unsigned &lo, unsigned &hi) const
-{
-    const unsigned last = geometry_.assoc - 1;
-    if (depth == EspDepth::Esp2) {
-        lo = hi = reservedWay_;
-    } else if (reservedWay_ == 0) {
-        lo = 1;
-        hi = last;
-    } else {
-        lo = 0;
-        hi = last - 1;
-    }
-}
-
-bool
-Cachelet::lookupFor(EspDepth depth, Addr addr)
-{
-    unsigned lo, hi;
-    waysFor(depth, lo, hi);
-    return lookupInWays(addr, lo, hi);
-}
-
-void
-Cachelet::insertFor(EspDepth depth, Addr addr, bool dirty)
-{
-    unsigned lo, hi;
-    waysFor(depth, lo, hi);
-    insertInWays(addr, lo, hi, dirty);
-}
-
-void
 Cachelet::rotateReservedWay()
 {
     reservedWay_ = reservedWay_ == 0 ? geometry_.assoc - 1 : 0;

@@ -39,12 +39,25 @@ class Cachelet : public SetAssocCache
 
     /**
      * Demand lookup in the ways owned by @p depth; updates LRU.
+     * Inline: called once per speculative block transition.
      * @return true on hit.
      */
-    bool lookupFor(EspDepth depth, Addr addr);
+    bool
+    lookupFor(EspDepth depth, Addr addr)
+    {
+        unsigned lo, hi;
+        waysFor(depth, lo, hi);
+        return lookupInWays(addr, lo, hi);
+    }
 
     /** Fill into the ways owned by @p depth. */
-    void insertFor(EspDepth depth, Addr addr, bool dirty = false);
+    void
+    insertFor(EspDepth depth, Addr addr, bool dirty = false)
+    {
+        unsigned lo, hi;
+        waysFor(depth, lo, hi);
+        insertInWays(addr, lo, hi, dirty);
+    }
 
     /**
      * The current event finished: promote ESP-2's content to ESP-1
@@ -61,7 +74,20 @@ class Cachelet : public SetAssocCache
   private:
     unsigned reservedWay_;
 
-    void waysFor(EspDepth depth, unsigned &lo, unsigned &hi) const;
+    void
+    waysFor(EspDepth depth, unsigned &lo, unsigned &hi) const
+    {
+        const unsigned last = geometry_.assoc - 1;
+        if (depth == EspDepth::Esp2) {
+            lo = hi = reservedWay_;
+        } else if (reservedWay_ == 0) {
+            lo = 1;
+            hi = last;
+        } else {
+            lo = 0;
+            hi = last - 1;
+        }
+    }
 };
 
 } // namespace espsim

@@ -8,149 +8,6 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
 {
 }
 
-AccessResult
-MemoryHierarchy::accessSide(SetAssocCache &l1,
-                            InflightPrefetchBuffer &inflight,
-                            PrefetchLifecycleTracker &lifecycle,
-                            Addr addr, bool write, Cycle now,
-                            std::uint64_t &acc_stat,
-                            std::uint64_t &miss_stat)
-{
-    if (countStats_)
-        ++acc_stat;
-    const Cycle l1_lat = l1.geometry().hitLatency;
-    const auto ready = inflight.consume(blockAlign(addr));
-
-    if (l1.lookup(addr)) {
-        if (countStats_)
-            lifecycle.onDemandAccess(blockAlign(addr), now);
-        if (ready && *ready > now) {
-            // Prefetched block still being filled: pay the residue.
-            if (countStats_) {
-                ++miss_stat;
-                ++stat_pf_late_;
-            }
-            if (write)
-                l1.writeHit(addr);
-            return {*ready - now + l1_lat, HitLevel::L2};
-        }
-        if (write)
-            l1.writeHit(addr);
-        return {l1_lat, HitLevel::L1};
-    }
-
-    if (countStats_)
-        ++miss_stat;
-    const Cycle l2_lat = l2_.geometry().hitLatency;
-    if (l2_.lookup(addr)) {
-        const auto evicted = l1.insertEvicting(addr, write);
-        if (countStats_)
-            lifecycle.onDemandFill(blockAlign(addr), evicted);
-        return {l1_lat + l2_lat, HitLevel::L2};
-    }
-
-    if (countStats_)
-        ++stat_l2_miss_;
-    l2_.insert(addr);
-    const auto evicted = l1.insertEvicting(addr, write);
-    if (countStats_)
-        lifecycle.onDemandFill(blockAlign(addr), evicted);
-    return {l1_lat + l2_lat + config_.memLatency, HitLevel::Memory};
-}
-
-AccessResult
-MemoryHierarchy::accessInstr(Addr addr, Cycle now)
-{
-    if (config_.perfectL1I) {
-        if (countStats_)
-            ++stat_l1i_acc_;
-        return {config_.l1i.hitLatency, HitLevel::L1};
-    }
-    return accessSide(l1i_, inflightInstr_, lifecycleInstr_, addr,
-                      false, now, stat_l1i_acc_, stat_l1i_miss_);
-}
-
-AccessResult
-MemoryHierarchy::accessData(Addr addr, bool write, Cycle now)
-{
-    if (config_.perfectL1D) {
-        if (countStats_)
-            ++stat_l1d_acc_;
-        return {config_.l1d.hitLatency, HitLevel::L1};
-    }
-    return accessSide(l1d_, inflightData_, lifecycleData_, addr, write,
-                      now, stat_l1d_acc_, stat_l1d_miss_);
-}
-
-AccessResult
-MemoryHierarchy::probeSide(const SetAssocCache &l1, Addr addr) const
-{
-    const Cycle l1_lat = l1.geometry().hitLatency;
-    const Cycle l2_lat = l2_.geometry().hitLatency;
-    if (l1.contains(addr))
-        return {l1_lat, HitLevel::L1};
-    if (l2_.contains(addr))
-        return {l1_lat + l2_lat, HitLevel::L2};
-    return {l1_lat + l2_lat + config_.memLatency, HitLevel::Memory};
-}
-
-AccessResult
-MemoryHierarchy::probeInstr(Addr addr) const
-{
-    if (config_.perfectL1I)
-        return {config_.l1i.hitLatency, HitLevel::L1};
-    return probeSide(l1i_, addr);
-}
-
-AccessResult
-MemoryHierarchy::probeData(Addr addr) const
-{
-    if (config_.perfectL1D)
-        return {config_.l1d.hitLatency, HitLevel::L1};
-    return probeSide(l1d_, addr);
-}
-
-bool
-MemoryHierarchy::prefetchSide(SetAssocCache &l1,
-                              InflightPrefetchBuffer &inflight,
-                              PrefetchLifecycleTracker &lifecycle,
-                              Addr addr, Cycle now,
-                              PrefetchSource source)
-{
-    if (l1.contains(addr) || inflight.contains(addr))
-        return false;
-    const AccessResult src = probeSide(l1, addr);
-    // Fill now (so capacity pressure and pollution are modeled) and
-    // remember when the fill actually lands.
-    l2_.insert(addr);
-    const auto evicted = l1.insertEvicting(addr);
-    const Cycle ready = now + src.latency;
-    inflight.issue(blockAlign(addr), ready);
-    lifecycle.onPrefetchIssue(blockAlign(addr), source, ready, evicted);
-    ++stat_pf_issued_;
-    return true;
-}
-
-bool
-MemoryHierarchy::prefetchInstr(Addr addr, Cycle now,
-                               PrefetchSource source)
-{
-    if (config_.perfectL1I)
-        return false;
-    return prefetchSide(l1i_, inflightInstr_, lifecycleInstr_, addr,
-                        now, source);
-}
-
-bool
-MemoryHierarchy::prefetchData(Addr addr, Cycle now,
-                              PrefetchSource source)
-{
-    if (config_.perfectL1D)
-        return false;
-    return prefetchSide(l1d_, inflightData_, lifecycleData_, addr, now,
-                        source);
-}
-
 PrefetchSourceStats
 MemoryHierarchy::prefetchLifecycle(PrefetchSource source) const
 {

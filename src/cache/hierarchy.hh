@@ -64,17 +64,50 @@ class MemoryHierarchy
     const HierarchyConfig &config() const { return config_; }
 
     /** Demand instruction fetch of the block containing @p addr. */
-    AccessResult accessInstr(Addr addr, Cycle now);
+    AccessResult
+    accessInstr(Addr addr, Cycle now)
+    {
+        if (config_.perfectL1I) {
+            if (countStats_)
+                ++stat_l1i_acc_;
+            return {config_.l1i.hitLatency, HitLevel::L1};
+        }
+        return accessSide(l1i_, inflightInstr_, lifecycleInstr_, addr,
+                          false, now, stat_l1i_acc_, stat_l1i_miss_);
+    }
 
     /** Demand data access (@p write marks the block dirty). */
-    AccessResult accessData(Addr addr, bool write, Cycle now);
+    AccessResult
+    accessData(Addr addr, bool write, Cycle now)
+    {
+        if (config_.perfectL1D) {
+            if (countStats_)
+                ++stat_l1d_acc_;
+            return {config_.l1d.hitLatency, HitLevel::L1};
+        }
+        return accessSide(l1d_, inflightData_, lifecycleData_, addr,
+                          write, now, stat_l1d_acc_, stat_l1d_miss_);
+    }
 
     /**
      * Where would the block come from right now? No state change; used
      * by ESP cachelet fills and by prefetch-issue latency estimation.
      */
-    AccessResult probeInstr(Addr addr) const;
-    AccessResult probeData(Addr addr) const;
+    AccessResult
+    probeInstr(Addr addr) const
+    {
+        if (config_.perfectL1I)
+            return {config_.l1i.hitLatency, HitLevel::L1};
+        return probeSide(l1i_, addr);
+    }
+
+    AccessResult
+    probeData(Addr addr) const
+    {
+        if (config_.perfectL1D)
+            return {config_.l1d.hitLatency, HitLevel::L1};
+        return probeSide(l1d_, addr);
+    }
 
     /**
      * Issue a prefetch of the block containing @p addr into the
@@ -84,10 +117,25 @@ class MemoryHierarchy
      * (timely / late / useless / harmful, per issuing engine).
      * @return true if a prefetch was actually issued.
      */
-    bool prefetchInstr(Addr addr, Cycle now,
-                       PrefetchSource source = PrefetchSource::Other);
-    bool prefetchData(Addr addr, Cycle now,
-                      PrefetchSource source = PrefetchSource::Other);
+    bool
+    prefetchInstr(Addr addr, Cycle now,
+                  PrefetchSource source = PrefetchSource::Other)
+    {
+        if (config_.perfectL1I)
+            return false;
+        return prefetchSide(l1i_, inflightInstr_, lifecycleInstr_,
+                            addr, now, source);
+    }
+
+    bool
+    prefetchData(Addr addr, Cycle now,
+                 PrefetchSource source = PrefetchSource::Other)
+    {
+        if (config_.perfectL1D)
+            return false;
+        return prefetchSide(l1d_, inflightData_, lifecycleData_, addr,
+                            now, source);
+    }
 
     /** Direct cache access (ESP naive mode uses these). */
     SetAssocCache &l1i() { return l1i_; }
@@ -146,17 +194,89 @@ class MemoryHierarchy
     std::uint64_t stat_pf_issued_ = 0;
     std::uint64_t stat_pf_late_ = 0;
 
-    AccessResult accessSide(SetAssocCache &l1,
-                            InflightPrefetchBuffer &inflight,
-                            PrefetchLifecycleTracker &lifecycle,
-                            Addr addr, bool write, Cycle now,
-                            std::uint64_t &acc_stat,
-                            std::uint64_t &miss_stat);
-    AccessResult probeSide(const SetAssocCache &l1, Addr addr) const;
-    bool prefetchSide(SetAssocCache &l1,
-                      InflightPrefetchBuffer &inflight,
-                      PrefetchLifecycleTracker &lifecycle, Addr addr,
-                      Cycle now, PrefetchSource source);
+    /** The demand path proper; inline so the whole L1→L2→memory walk
+     *  (including inflight-buffer consume and lifecycle scoring)
+     *  compiles into the caller's loop. */
+    AccessResult
+    accessSide(SetAssocCache &l1, InflightPrefetchBuffer &inflight,
+               PrefetchLifecycleTracker &lifecycle, Addr addr,
+               bool write, Cycle now, std::uint64_t &acc_stat,
+               std::uint64_t &miss_stat)
+    {
+        if (countStats_)
+            ++acc_stat;
+        const Cycle l1_lat = l1.geometry().hitLatency;
+        const auto ready = inflight.consume(blockAlign(addr));
+
+        if (l1.lookup(addr)) {
+            if (countStats_)
+                lifecycle.onDemandAccess(blockAlign(addr), now);
+            if (ready && *ready > now) {
+                // Prefetched block still being filled: pay the
+                // residue.
+                if (countStats_) {
+                    ++miss_stat;
+                    ++stat_pf_late_;
+                }
+                if (write)
+                    l1.writeHit(addr);
+                return {*ready - now + l1_lat, HitLevel::L2};
+            }
+            if (write)
+                l1.writeHit(addr);
+            return {l1_lat, HitLevel::L1};
+        }
+
+        if (countStats_)
+            ++miss_stat;
+        const Cycle l2_lat = l2_.geometry().hitLatency;
+        if (l2_.lookup(addr)) {
+            const auto evicted = l1.insertEvicting(addr, write);
+            if (countStats_)
+                lifecycle.onDemandFill(blockAlign(addr), evicted);
+            return {l1_lat + l2_lat, HitLevel::L2};
+        }
+
+        if (countStats_)
+            ++stat_l2_miss_;
+        l2_.insert(addr);
+        const auto evicted = l1.insertEvicting(addr, write);
+        if (countStats_)
+            lifecycle.onDemandFill(blockAlign(addr), evicted);
+        return {l1_lat + l2_lat + config_.memLatency, HitLevel::Memory};
+    }
+
+    AccessResult
+    probeSide(const SetAssocCache &l1, Addr addr) const
+    {
+        const Cycle l1_lat = l1.geometry().hitLatency;
+        const Cycle l2_lat = l2_.geometry().hitLatency;
+        if (l1.contains(addr))
+            return {l1_lat, HitLevel::L1};
+        if (l2_.contains(addr))
+            return {l1_lat + l2_lat, HitLevel::L2};
+        return {l1_lat + l2_lat + config_.memLatency, HitLevel::Memory};
+    }
+
+    bool
+    prefetchSide(SetAssocCache &l1, InflightPrefetchBuffer &inflight,
+                 PrefetchLifecycleTracker &lifecycle, Addr addr,
+                 Cycle now, PrefetchSource source)
+    {
+        if (l1.contains(addr) || inflight.contains(addr))
+            return false;
+        const AccessResult src = probeSide(l1, addr);
+        // Fill now (so capacity pressure and pollution are modeled)
+        // and remember when the fill actually lands.
+        l2_.insert(addr);
+        const auto evicted = l1.insertEvicting(addr);
+        const Cycle ready = now + src.latency;
+        inflight.issue(blockAlign(addr), ready);
+        lifecycle.onPrefetchIssue(blockAlign(addr), source, ready,
+                                  evicted);
+        ++stat_pf_issued_;
+        return true;
+    }
 };
 
 } // namespace espsim

@@ -1,0 +1,80 @@
+#include "common/alloc_counter.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace
+{
+
+[[maybe_unused]] std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+namespace espsim
+{
+
+std::uint64_t
+allocCount()
+{
+#ifdef ESPSIM_ALLOC_COUNTER
+    return g_allocs.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
+}
+
+bool
+allocCounterActive()
+{
+#ifdef ESPSIM_ALLOC_COUNTER
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace espsim
+
+#ifdef ESPSIM_ALLOC_COUNTER
+
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // ESPSIM_ALLOC_COUNTER

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Debug-only global allocation counter.
+ *
+ * Compiled in only when the build defines ESPSIM_ALLOC_COUNTER
+ * (`cmake -DESPSIM_ALLOC_COUNTER=ON`): the replacement operator
+ * new/delete in alloc_counter.cc then count every heap allocation, so
+ * tests can assert the steady-state simulation loop performs none
+ * (docs/PERFORMANCE.md, "zero-allocation invariant"). In normal
+ * builds the hook vanishes and allocCount() reports 0.
+ */
+
+#ifndef ESPSIM_COMMON_ALLOC_COUNTER_HH
+#define ESPSIM_COMMON_ALLOC_COUNTER_HH
+
+#include <cstdint>
+
+namespace espsim
+{
+
+/** Total operator-new calls so far (0 when the hook is compiled out). */
+std::uint64_t allocCount();
+
+/** Whether the counting hook is compiled into this build. */
+bool allocCounterActive();
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_ALLOC_COUNTER_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Sorted run-encoded set of cache-block addresses.
+ *
+ * ESP's working-set tracking dedupes the block stream a pre-execution
+ * touches. The stream has the same spatial structure the ESP address
+ * lists exploit with run extension (sequential code blocks, strided
+ * data), so a sorted vector of [start, start + blocks·64) runs covers
+ * it in a handful of entries — membership is one binary search, no
+ * per-access hashing, no per-entry heap nodes, and clear() retains
+ * capacity so the steady-state loop stays allocation-free.
+ */
+
+#ifndef ESPSIM_COMMON_BLOCK_RUN_SET_HH
+#define ESPSIM_COMMON_BLOCK_RUN_SET_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/**
+ * Set of block-aligned addresses stored as maximal runs, mirroring the
+ * AddressList run-extension semantics (lists.hh): adjacent blocks
+ * coalesce into one record.
+ */
+class BlockRunSet
+{
+  public:
+    /** Add @p block (block-aligned); returns true when it was new. */
+    bool
+    insert(Addr block)
+    {
+        // First run strictly past the block, so `it - 1` is the only
+        // run that can contain or left-extend to it.
+        auto it = std::upper_bound(
+            runs_.begin(), runs_.end(), block,
+            [](Addr b, const Run &r) { return b < r.start; });
+        if (it != runs_.begin()) {
+            Run &prev = *(it - 1);
+            if (block < prev.start + prev.blocks * blockBytes)
+                return false; // already covered
+            if (block == prev.start + prev.blocks * blockBytes) {
+                ++prev.blocks; // run extension
+                mergeWithNext(it - 1);
+                ++size_;
+                return true;
+            }
+        }
+        if (it != runs_.end() && block + blockBytes == it->start) {
+            it->start = block; // left-extend the following run
+            ++it->blocks;
+            ++size_;
+            return true;
+        }
+        runs_.insert(it, Run{block, 1});
+        ++size_;
+        return true;
+    }
+
+    bool
+    contains(Addr block) const
+    {
+        auto it = std::upper_bound(
+            runs_.begin(), runs_.end(), block,
+            [](Addr b, const Run &r) { return b < r.start; });
+        if (it == runs_.begin())
+            return false;
+        const Run &prev = *(it - 1);
+        return block < prev.start + prev.blocks * blockBytes;
+    }
+
+    /** Number of distinct blocks in the set. */
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Number of encoded runs (compression diagnostic). */
+    std::size_t runCount() const { return runs_.size(); }
+
+    /** Drop all blocks; retains storage capacity. */
+    void
+    clear()
+    {
+        runs_.clear();
+        size_ = 0;
+    }
+
+  private:
+    struct Run
+    {
+        Addr start = 0;          //!< first block address of the run
+        std::uint32_t blocks = 0; //!< run length in blocks
+    };
+
+    /** Merge @p it with its successor when the extension made them
+     *  adjacent. */
+    void
+    mergeWithNext(std::vector<Run>::iterator it)
+    {
+        auto next = it + 1;
+        if (next != runs_.end() &&
+            it->start + it->blocks * blockBytes == next->start) {
+            it->blocks += next->blocks;
+            runs_.erase(next);
+        }
+    }
+
+    std::vector<Run> runs_;
+    std::size_t size_ = 0;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_BLOCK_RUN_SET_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer for the core's hot pipeline queues.
+ *
+ * `std::deque` allocates node blocks and indirects through a segment
+ * map on every access; the ROB and LSQ are bounded by construction
+ * (96 / 16 entries), so a flat power-of-two ring with head/tail
+ * counters keeps every entry in one contiguous allocation made once
+ * at attach time — the steady-state loop never touches the heap.
+ */
+
+#ifndef ESPSIM_COMMON_RING_BUFFER_HH
+#define ESPSIM_COMMON_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace espsim
+{
+
+/**
+ * Bounded FIFO over a contiguous power-of-two store.
+ *
+ * The caller guarantees occupancy never exceeds the capacity given to
+ * reset() (the core pops before pushing when full); this is asserted
+ * in debug builds rather than checked on the hot path.
+ */
+template <typename T>
+class FixedRing
+{
+  public:
+    explicit FixedRing(std::size_t capacity = 0) { reset(capacity); }
+
+    /** Size the store for @p capacity entries (rounded up to a power
+     *  of two) and drop all contents. Allocates; call once at setup. */
+    void
+    reset(std::size_t capacity)
+    {
+        std::size_t pow2 = 1;
+        while (pow2 < capacity)
+            pow2 <<= 1;
+        store_.assign(pow2, T{});
+        mask_ = pow2 - 1;
+        head_ = tail_ = 0;
+    }
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+    std::size_t capacity() const { return mask_ + 1; }
+
+    void
+    push_back(const T &value)
+    {
+        assert(size() <= mask_ && "FixedRing overflow");
+        store_[tail_ & mask_] = value;
+        ++tail_;
+    }
+
+    const T &
+    front() const
+    {
+        assert(!empty());
+        return store_[head_ & mask_];
+    }
+
+    void
+    pop_front()
+    {
+        assert(!empty());
+        ++head_;
+    }
+
+    /** @p i-th oldest entry (0 = front). */
+    const T &
+    at(std::size_t i) const
+    {
+        assert(i < size());
+        return store_[(head_ + i) & mask_];
+    }
+
+    void clear() { head_ = tail_ = 0; }
+
+  private:
+    std::vector<T> store_;
+    std::size_t mask_ = 0;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_COMMON_RING_BUFFER_HH

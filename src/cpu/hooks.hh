@@ -71,7 +71,18 @@ class CoreHooks
         (void)now;
     }
 
-    /** Called before each op of the current event executes. */
+    /**
+     * Whether beforeOp() needs to observe the current event's ops.
+     * The core asks once per event (between onEventStart and the
+     * first op) and skips the per-op virtual call entirely when the
+     * answer is false — the common case for passive engines. An
+     * engine whose answer can change only does so at event
+     * boundaries, so the once-per-event sample is exact.
+     */
+    virtual bool perOpActive() const { return false; }
+
+    /** Called before each op of the current event executes (only when
+     *  perOpActive() returned true for this event). */
     virtual void
     beforeOp(std::size_t op_idx, const MicroOp &op, Cycle now)
     {

@@ -33,6 +33,10 @@ OoOCore::OoOCore(const CoreConfig &config, MemoryHierarchy &mem,
     : config_(config), mem_(mem), bp_(bp), hooks_(hooks),
       prefetchCfg_(prefetch)
 {
+    // The pipeline queues are bounded by construction; size their
+    // rings once here so the run loop never allocates.
+    rob_.reset(config_.robSize);
+    lsq_.reset(config_.lsqSize);
     specBucket_ = hooks_.engine() == SpecEngine::Runahead
         ? CycleBucket::Runahead
         : CycleBucket::EspPreExec;
@@ -186,7 +190,7 @@ OoOCore::processOp(const MicroOp &op)
     Cycle complete = dispatch + config_.pipelineDepth;
     RobEntry entry;
 
-    switch (op.type) {
+    switch (op.type()) {
       case OpType::IntAlu:
         break;
       case OpType::FpAlu:
@@ -318,7 +322,8 @@ OoOCore::drainRob()
     Cycle last = fetchCycle_;
     bool miss_pending = false;
     std::uint8_t miss_dest = noReg;
-    for (const RobEntry &e : rob_) {
+    for (std::size_t k = 0; k < rob_.size(); ++k) {
+        const RobEntry &e = rob_.at(k);
         last = std::max(last, e.complete);
         if (e.llcMissLoad && e.complete > fetchCycle_) {
             miss_pending = true;
@@ -377,10 +382,18 @@ OoOCore::run(const Workload &workload)
         const InstCount instr_at_dispatch = stats_.instructions;
         const EventTrace &event = workload.event(idx);
         curFetchBlock_ = ~Addr{0};
-        for (std::size_t i = 0; i < event.ops.size(); ++i) {
+        // Assemble ops by value from the SoA lanes; skip the per-op
+        // virtual hook when the engine declared itself passive for
+        // this event (the answer only changes at event boundaries).
+        const OpSequence &ops = event.ops;
+        const std::size_t num_ops = ops.size();
+        const bool per_op = hooks_.perOpActive();
+        for (std::size_t i = 0; i < num_ops; ++i) {
             curOpIdx_ = i;
-            hooks_.beforeOp(i, event.ops[i], fetchCycle_);
-            processOp(event.ops[i]);
+            const MicroOp op = ops[i];
+            if (per_op)
+                hooks_.beforeOp(i, op, fetchCycle_);
+            processOp(op);
         }
         drainRob();
         // A stall shadow never extends past the event-end drain; drop

@@ -22,10 +22,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "branch/pentium_m.hh"
+#include "common/ring_buffer.hh"
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
 #include "cpu/hooks.hh"
@@ -122,6 +123,68 @@ struct HandlerAccounting
     }
 };
 
+/**
+ * Flat sorted handlerType → HandlerAccounting table.
+ *
+ * Handler-type populations are small (a handful per workload), so a
+ * sorted vector with binary search beats a node-based map on the
+ * per-event accounting path and iterates in the same key order the
+ * stat registration relies on.
+ */
+class HandlerAccountingTable
+{
+  public:
+    using Entry = std::pair<std::uint32_t, HandlerAccounting>;
+
+    /** Find-or-insert accounting for @p type. */
+    HandlerAccounting &
+    operator[](std::uint32_t type)
+    {
+        auto it = lowerBound(type);
+        if (it == entries_.end() || it->first != type)
+            it = entries_.insert(it, Entry{type, HandlerAccounting{}});
+        return it->second;
+    }
+
+    /** Accounting for @p type; the caller guarantees presence. */
+    const HandlerAccounting &
+    at(std::uint32_t type) const
+    {
+        auto it = const_cast<HandlerAccountingTable *>(this)
+                      ->lowerBound(type);
+        return it->second;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    std::vector<Entry>::const_iterator begin() const
+    {
+        return entries_.begin();
+    }
+    std::vector<Entry>::const_iterator end() const
+    {
+        return entries_.end();
+    }
+
+  private:
+    std::vector<Entry>::iterator
+    lowerBound(std::uint32_t type)
+    {
+        auto lo = entries_.begin();
+        auto hi = entries_.end();
+        while (lo != hi) {
+            auto mid = lo + (hi - lo) / 2;
+            if (mid->first < type)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::vector<Entry> entries_;
+};
+
 /** Cycle/instruction counters the core accumulates over a run. */
 struct CoreStats
 {
@@ -144,7 +207,7 @@ struct CoreStats
     /** Top-down attribution: where every cycle went (sums to cycles). */
     CycleBucketArray bucketCycles{};
     /** The same buckets broken down per event-handler type. */
-    std::map<std::uint32_t, HandlerAccounting> handlerAccounting;
+    HandlerAccountingTable handlerAccounting;
 
     Cycle
     bucketSum() const
@@ -227,8 +290,8 @@ class OoOCore
         bool llcMissLoad = false;
     };
 
-    std::deque<RobEntry> rob_;
-    std::deque<LsqEntry> lsq_;
+    FixedRing<RobEntry> rob_;
+    FixedRing<LsqEntry> lsq_;
     Cycle lastRetire_ = 0;
     std::size_t curOpIdx_ = 0;
     std::uint8_t lastDest_ = noReg; //!< dependency-issue modeling

@@ -87,12 +87,12 @@ RunaheadEngine::onStall(const StallContext &ctx)
             (op.srcB == noReg || !(invalid & (1u << (op.srcB % 32))));
 
         if (op.isBranchOp()) {
-            if (!src_valid && op.type == OpType::BranchCond) {
+            if (!src_valid && op.type() == OpType::BranchCond) {
                 // Outcome unknown: runahead follows the predicted path;
                 // if that disagrees with the real path, it has diverged
                 // and everything further is wrong-path.
                 const BranchPrediction pred = bp_.predictOnly(op);
-                if (pred.taken != op.taken) {
+                if (pred.taken != op.taken()) {
                     ++stats_.stoppedOnWrongPath;
                     break;
                 }

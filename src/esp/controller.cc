@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -83,10 +84,12 @@ EspController::activate(SpecContext &sc, std::size_t event_idx)
     sc.exhausted = false;
     sc.curFetchBlock = ~Addr{0};
     sc.bpCtx.clear();
-    sc.ilist = AddressList(config_.listBytes(config_.iListBytes, d));
-    sc.dlist = AddressList(config_.listBytes(config_.dListBytes, d));
-    sc.blist = BranchList(config_.listBytes(config_.bListDirBytes, d),
-                          config_.listBytes(config_.bListTgtBytes, d));
+    // Reset-in-place: the lists and tracking sets retain their storage
+    // across activations, so re-arming a context never allocates.
+    sc.ilist.resetCapacity(config_.listBytes(config_.iListBytes, d));
+    sc.dlist.resetCapacity(config_.listBytes(config_.dListBytes, d));
+    sc.blist.resetCapacity(config_.listBytes(config_.bListDirBytes, d),
+                           config_.listBytes(config_.bListTgtBytes, d));
     sc.instrBlocks.clear();
     sc.dataBlocks.clear();
     sc.replica.reset();
@@ -127,7 +130,7 @@ EspController::speculativeFetch(unsigned d, SpecContext &sc, Addr pc)
     bool hit;
     if (config_.ideal || d >= 2) {
         // Unbounded cachelet model: the tracking set is the tag store.
-        hit = !sc.instrBlocks.insert(blk).second;
+        hit = !sc.instrBlocks.insert(blk);
     } else {
         hit = icachelet_.lookupFor(depthEnum(d), pc);
     }
@@ -159,7 +162,7 @@ EspController::speculativeData(unsigned d, SpecContext &sc,
     const Cycle l1_lat = config_.dcachelet.hitLatency;
     bool hit;
     if (config_.ideal || d >= 2) {
-        hit = !sc.dataBlocks.insert(blk).second;
+        hit = !sc.dataBlocks.insert(blk);
     } else {
         hit = dcachelet_.lookupFor(depthEnum(d), op.memAddr);
     }
@@ -292,10 +295,10 @@ EspController::runSpec(unsigned d, std::uint64_t budget_q,
                 BranchRecord rec;
                 rec.pc = op.pc;
                 rec.instCount = sc.opIdx;
-                rec.target = op.branchTarget;
-                rec.type = op.type;
-                rec.taken = op.taken;
-                rec.indirect = op.type == OpType::BranchIndirect;
+                rec.target = op.branchTarget();
+                rec.type = op.type();
+                rec.taken = op.taken();
+                rec.indirect = op.type() == OpType::BranchIndirect;
                 if (!sc.blist.append(rec))
                     ++stats_.bListOverflows;
             }
@@ -382,20 +385,20 @@ EspController::onStall(const StallContext &ctx)
     return std::min<Cycle>(consumed_q / width_, ctx.idleCycles);
 }
 
-AddressList
-EspController::rebuildWithCapacity(const AddressList &src,
+void
+EspController::rebuildWithCapacity(AddressList &dst,
+                                   const AddressList &src,
                                    std::size_t cap_bytes)
 {
-    AddressList out(cap_bytes);
+    dst.resetCapacity(cap_bytes);
     for (const AddressRecord &rec : src.records()) {
         for (unsigned k = 0; k <= rec.runLength; ++k) {
-            if (!out.append(rec.blockAddr + k * blockBytes,
+            if (!dst.append(rec.blockAddr + k * blockBytes,
                             rec.instCount)) {
-                return out;
+                return;
             }
         }
     }
-    return out;
 }
 
 void
@@ -407,16 +410,27 @@ EspController::promoteContexts(std::size_t finished_idx)
     // the runtime's dispatch prediction was wrong, in which case the
     // queue entry's incorrect-prediction bit vetoes the stale hints
     // (§4.5).
-    consume_ = ConsumeState{};
+    arena_.reset();
+    consume_.valid = false;
+    consume_.irecs = {};
+    consume_.drecs = {};
+    consume_.brecs = {};
+    consume_.icur = consume_.dcur = consume_.bcur = 0;
+    consume_.branchesExecuted = 0;
+    consume_.nextDrainOp = 0;
+    consume_.trainCtx.clear();
     SpecContext &s0 = slots_[0];
     if (s0.active && s0.eventIdx != finished_idx + 1)
         ++stats_.mispredictedDispatches;
     if (s0.active && s0.eventIdx == finished_idx + 1 &&
         !config_.naiveMode) {
         consume_.valid = true;
-        consume_.irecs = s0.ilist.records();
-        consume_.drecs = s0.dlist.records();
-        consume_.brecs = s0.blist.records();
+        const auto &ir = s0.ilist.records();
+        const auto &dr = s0.dlist.records();
+        const auto &br = s0.blist.records();
+        consume_.irecs = {arena_.copy(ir.data(), ir.size()), ir.size()};
+        consume_.drecs = {arena_.copy(dr.data(), dr.size()), dr.size()};
+        consume_.brecs = {arena_.copy(br.data(), br.size()), br.size()};
         if (config_.branchPolicy == BranchPolicy::SeparatePirAndTables &&
             s0.replica) {
             // Adopt the replica trained during pre-execution.
@@ -441,27 +455,39 @@ EspController::promoteContexts(std::size_t finished_idx)
     // Shift contexts down one depth (ESP-2 becomes ESP-1, ...), fixing
     // up list capacities: the promoted event's ESP-2 entries are
     // copied ahead of the ESP-1 head (§4.2).
+    // Swapping (not moving) rotates the retired slot's storage down to
+    // the deepest slot, where the in-place reset below recycles it.
     for (unsigned d = 0; d + 1 < config_.maxDepth; ++d) {
-        slots_[d] = std::move(slots_[d + 1]);
+        std::swap(slots_[d], slots_[d + 1]);
         if (slots_[d].active && !config_.ideal) {
-            slots_[d].ilist = rebuildWithCapacity(
-                slots_[d].ilist,
+            rebuildWithCapacity(
+                scratchList_, slots_[d].ilist,
                 config_.listBytes(config_.iListBytes, d));
-            slots_[d].dlist = rebuildWithCapacity(
-                slots_[d].dlist,
+            std::swap(slots_[d].ilist, scratchList_);
+            rebuildWithCapacity(
+                scratchList_, slots_[d].dlist,
                 config_.listBytes(config_.dListBytes, d));
+            std::swap(slots_[d].dlist, scratchList_);
         }
     }
-    slots_[config_.maxDepth - 1] = SpecContext{};
-    slots_[config_.maxDepth - 1].ilist = AddressList(config_.listBytes(
-        config_.iListBytes, config_.maxDepth - 1));
-    slots_[config_.maxDepth - 1].dlist = AddressList(config_.listBytes(
-        config_.dListBytes, config_.maxDepth - 1));
-    slots_[config_.maxDepth - 1].blist =
-        BranchList(config_.listBytes(config_.bListDirBytes,
-                                     config_.maxDepth - 1),
-                   config_.listBytes(config_.bListTgtBytes,
-                                     config_.maxDepth - 1));
+    SpecContext &last = slots_[config_.maxDepth - 1];
+    const unsigned last_d = config_.maxDepth - 1;
+    last.eventIdx = SIZE_MAX;
+    last.opIdx = 0;
+    last.active = false;
+    last.exhausted = false;
+    last.curFetchBlock = ~Addr{0};
+    last.bpCtx.clear();
+    last.ilist.resetCapacity(
+        config_.listBytes(config_.iListBytes, last_d));
+    last.dlist.resetCapacity(
+        config_.listBytes(config_.dListBytes, last_d));
+    last.blist.resetCapacity(
+        config_.listBytes(config_.bListDirBytes, last_d),
+        config_.listBytes(config_.bListTgtBytes, last_d));
+    last.instrBlocks.clear();
+    last.dataBlocks.clear();
+    last.replica.reset();
 
     icachelet_.rotateReservedWay();
     dcachelet_.rotateReservedWay();
@@ -510,6 +536,25 @@ EspController::drainPrefetches(std::size_t op_idx, Cycle now)
             }
         }
     }
+
+    // Everything with instCount <= op_idx + lead has drained, so the
+    // earliest op index that can release another record is bounded
+    // below by (next instCount - lead); beforeOp skips the call until
+    // then.
+    std::size_t next = std::numeric_limits<std::size_t>::max();
+    if (config_.useIList && consume_.icur < consume_.irecs.size()) {
+        const InstCount c = consume_.irecs[consume_.icur].instCount;
+        next = std::min(next,
+                        static_cast<std::size_t>(c <= lead ? 0
+                                                           : c - lead));
+    }
+    if (config_.useDList && consume_.dcur < consume_.drecs.size()) {
+        const InstCount c = consume_.drecs[consume_.dcur].instCount;
+        next = std::min(next,
+                        static_cast<std::size_t>(c <= lead ? 0
+                                                           : c - lead));
+    }
+    consume_.nextDrainOp = next;
 }
 
 void
@@ -562,7 +607,8 @@ EspController::beforeOp(std::size_t op_idx, const MicroOp &op, Cycle now)
 {
     if (!consume_.valid)
         return;
-    drainPrefetches(op_idx, now);
+    if (op_idx >= consume_.nextDrainOp)
+        drainPrefetches(op_idx, now);
     if (op.isBranchOp()) {
         trainAhead(now);
         ++consume_.branchesExecuted;

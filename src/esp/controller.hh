@@ -19,12 +19,13 @@
 #define ESPSIM_ESP_CONTROLLER_HH
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "branch/pentium_m.hh"
 #include "cache/cachelet.hh"
 #include "cache/hierarchy.hh"
+#include "common/arena.hh"
+#include "common/block_run_set.hh"
 #include "common/histogram.hh"
 #include "common/stats.hh"
 #include "cpu/hooks.hh"
@@ -89,6 +90,11 @@ class EspController : public CoreHooks
     Cycle onStall(const StallContext &ctx) override;
     SpecEngine engine() const override { return SpecEngine::Esp; }
 
+    /** The per-op hook only does work while list consumption for the
+     *  current event is live; tell the core so it can skip the
+     *  indirect call in its issue loop otherwise. */
+    bool perOpActive() const override { return consume_.valid; }
+
     const EspStats &stats() const { return stats_; }
     const EspConfig &config() const { return config_; }
     const HardwareEventQueue &eventQueue() const { return queue_; }
@@ -129,23 +135,40 @@ class EspController : public CoreHooks
         AddressList dlist;
         BranchList blist;
         std::unique_ptr<PentiumMPredictor> replica; //!< tables policy
-        std::unordered_set<Addr> instrBlocks; //!< Fig. 13 tracking
-        std::unordered_set<Addr> dataBlocks;
+        BlockRunSet instrBlocks; //!< Fig. 13 tracking
+        BlockRunSet dataBlocks;
 
         SpecContext() : ilist(0), dlist(0), blist(0, 0) {}
     };
 
-    /** Normal-mode consumption state for the current event's lists. */
+    /** Read-only view of records staged in the event arena. */
+    template <typename T>
+    struct RecordSpan
+    {
+        const T *data = nullptr;
+        std::size_t count = 0;
+
+        std::size_t size() const { return count; }
+        const T &operator[](std::size_t i) const { return data[i]; }
+    };
+
+    /** Normal-mode consumption state for the current event's lists.
+     *  The record arrays are copies staged in arena_ at promotion —
+     *  the owning SpecContext's lists are recycled immediately after,
+     *  and arena copies avoid per-event vector churn. */
     struct ConsumeState
     {
         bool valid = false;
-        std::vector<AddressRecord> irecs;
-        std::vector<AddressRecord> drecs;
-        std::vector<BranchRecord> brecs;
+        RecordSpan<AddressRecord> irecs;
+        RecordSpan<AddressRecord> drecs;
+        RecordSpan<BranchRecord> brecs;
         std::size_t icur = 0;
         std::size_t dcur = 0;
         std::size_t bcur = 0;
         std::size_t branchesExecuted = 0;
+        /** First op index at which another list record becomes
+         *  drainable; beforeOp skips drainPrefetches until then. */
+        std::size_t nextDrainOp = 0;
         BpContext trainCtx;
     };
 
@@ -160,6 +183,8 @@ class EspController : public CoreHooks
     Cachelet dcachelet_;
     std::vector<SpecContext> slots_; //!< slot d pre-executes cur+d+1
     ConsumeState consume_;
+    EventArena arena_; //!< backs consume_'s record spans; reset per event
+    AddressList scratchList_{0}; //!< reused by promoteContexts rebuilds
     std::size_t curEventIdx_ = 0;
 
     EspStats stats_;
@@ -186,8 +211,9 @@ class EspController : public CoreHooks
     void drainPrefetches(std::size_t op_idx, Cycle now);
     void trainAhead(Cycle now);
     void promoteContexts(std::size_t finished_idx);
-    static AddressList rebuildWithCapacity(const AddressList &src,
-                                           std::size_t cap_bytes);
+    static void rebuildWithCapacity(AddressList &dst,
+                                    const AddressList &src,
+                                    std::size_t cap_bytes);
 };
 
 } // namespace espsim

@@ -100,6 +100,13 @@ AddressList::clear()
     lastInst_ = 0;
 }
 
+void
+AddressList::resetCapacity(std::size_t capacity_bytes)
+{
+    clear();
+    capacityBits_ = capacity_bytes * 8;
+}
+
 BranchList::BranchList(std::size_t dir_capacity_bytes,
                        std::size_t tgt_capacity_bytes)
     : dirCapacityBits_(dir_capacity_bytes * 8),
@@ -171,6 +178,15 @@ BranchList::clear()
     haveLast_ = false;
     lastPc_ = 0;
     sincePeriod_ = 0;
+}
+
+void
+BranchList::resetCapacity(std::size_t dir_capacity_bytes,
+                          std::size_t tgt_capacity_bytes)
+{
+    clear();
+    dirCapacityBits_ = dir_capacity_bytes * 8;
+    tgtCapacityBits_ = tgt_capacity_bytes * 8;
 }
 
 } // namespace espsim

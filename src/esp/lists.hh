@@ -74,6 +74,10 @@ class AddressList
     bool unbounded() const { return capacityBits_ == 0; }
     void clear();
 
+    /** clear() plus a new byte budget; record storage is retained, so
+     *  re-arming a list at an event boundary never allocates. */
+    void resetCapacity(std::size_t capacity_bytes);
+
     /** Bits of one base entry (8 + 3 + 7 + 1). */
     static constexpr std::size_t entryBits = 19;
 
@@ -119,6 +123,10 @@ class BranchList
     std::size_t tgtBitsUsed() const { return tgtBits_; }
     bool full() const { return full_; }
     void clear();
+
+    /** clear() plus new byte budgets, retaining record storage. */
+    void resetCapacity(std::size_t dir_capacity_bytes,
+                       std::size_t tgt_capacity_bytes);
 
     /** Bits of one direction entry (4 + 1 + 1). */
     static constexpr std::size_t dirEntryBits = 6;

@@ -21,79 +21,12 @@ prefetchSourceName(PrefetchSource source)
 }
 
 void
-PrefetchLifecycleTracker::onPrefetchIssue(Addr block,
-                                          PrefetchSource source,
-                                          Cycle ready,
-                                          std::optional<Addr> evicted)
-{
-    if (evicted)
-        onEviction(*evicted, source);
-    ++stats_[static_cast<std::size_t>(source)].issued;
-    live_[block] = LiveEntry{source, ready, false};
-}
-
-void
-PrefetchLifecycleTracker::onDemandAccess(Addr block, Cycle now)
-{
-    auto it = live_.find(block);
-    if (it != live_.end() && !it->second.used) {
-        it->second.used = true;
-        PrefetchSourceStats &s =
-            stats_[static_cast<std::size_t>(it->second.source)];
-        if (now >= it->second.ready) {
-            ++s.timely;
-            s.leadCycleSum += now - it->second.ready;
-        } else {
-            ++s.late;
-        }
-    }
-    // A demanded block (prefetched or not) is live demand data: if a
-    // later prefetch fill displaces it, that fill was harmful.
-    demandLive_.insert(block);
-}
-
-void
-PrefetchLifecycleTracker::onDemandFill(Addr block,
-                                       std::optional<Addr> evicted)
-{
-    if (evicted)
-        onEviction(*evicted, std::nullopt);
-    demandLive_.insert(block);
-    // The block arrived on demand, not via prefetch: drop any stale
-    // lifecycle record (its eviction was already scored).
-    live_.erase(block);
-}
-
-void
-PrefetchLifecycleTracker::onEviction(
-    Addr block, std::optional<PrefetchSource> byPrefetch)
-{
-    auto it = live_.find(block);
-    if (it != live_.end()) {
-        if (!it->second.used) {
-            ++stats_[static_cast<std::size_t>(it->second.source)]
-                  .useless;
-        } else if (byPrefetch) {
-            // The victim was prefetched data the demand stream had
-            // adopted — displacing it is pollution all the same.
-            ++stats_[static_cast<std::size_t>(*byPrefetch)].harmful;
-        }
-        live_.erase(it);
-        demandLive_.erase(block);
-        return;
-    }
-    if (demandLive_.erase(block) != 0 && byPrefetch)
-        ++stats_[static_cast<std::size_t>(*byPrefetch)].harmful;
-}
-
-void
 PrefetchLifecycleTracker::finalize()
 {
-    for (auto &[block, entry] : live_) {
-        (void)block;
+    live_.forEach([this](Addr, LiveEntry &entry) {
         if (!entry.used)
             ++stats_[static_cast<std::size_t>(entry.source)].useless;
-    }
+    });
     live_.clear();
     demandLive_.clear();
 }
@@ -115,49 +48,18 @@ PrefetchLifecycleTracker::clear()
     demandLive_.clear();
 }
 
-InflightPrefetchBuffer::InflightPrefetchBuffer(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity)
-{
-}
-
-bool
-InflightPrefetchBuffer::issue(Addr block_addr, Cycle ready)
-{
-    if (map_.count(block_addr))
-        return false;
-    while (map_.size() >= capacity_ && !fifo_.empty()) {
-        map_.erase(fifo_.front());
-        fifo_.pop_front();
-    }
-    map_.emplace(block_addr, ready);
-    fifo_.push_back(block_addr);
-    return true;
-}
-
-std::optional<Cycle>
-InflightPrefetchBuffer::consume(Addr block_addr)
-{
-    auto it = map_.find(block_addr);
-    if (it == map_.end())
-        return std::nullopt;
-    const Cycle ready = it->second;
-    map_.erase(it);
-    // The fifo_ may retain a stale address; issue() skips entries no
-    // longer present in the map when it evicts.
-    return ready;
-}
-
-bool
-InflightPrefetchBuffer::contains(Addr block_addr) const
-{
-    return map_.count(block_addr) != 0;
-}
-
 void
-InflightPrefetchBuffer::clear()
+InflightPrefetchBuffer::growFifo()
 {
-    map_.clear();
-    fifo_.clear();
+    // Unroll the ring into a fresh store twice the size, oldest
+    // first, so index arithmetic stays a single mask.
+    std::vector<Addr> bigger(fifo_.size() * 2);
+    const std::uint64_t count = fifoTail_ - fifoHead_;
+    for (std::uint64_t i = 0; i < count; ++i)
+        bigger[i] = fifo_[(fifoHead_ + i) & (fifo_.size() - 1)];
+    fifo_ = std::move(bigger);
+    fifoHead_ = 0;
+    fifoTail_ = count;
 }
 
 } // namespace espsim

@@ -7,6 +7,11 @@
  * target cache immediately (so pollution is modeled), and the ready
  * time is recorded here; a demand access that arrives before the ready
  * time pays the residual latency ("late prefetch").
+ *
+ * Both trackers sit on the per-demand-access path, so they use
+ * open-addressed block-keyed tables (common/addr_map.hh) and an
+ * intrusive ring for the FIFO instead of node-based containers: no
+ * hashing-library heap nodes, no steady-state allocation.
  */
 
 #ifndef ESPSIM_PREFETCH_INFLIGHT_HH
@@ -15,11 +20,10 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "common/addr_map.hh"
 #include "common/types.hh"
 
 namespace espsim
@@ -98,14 +102,49 @@ class PrefetchLifecycleTracker
   public:
     /** A prefetch of @p block was issued; its fill lands at @p ready.
      *  @p evicted is the L1 victim the immediate fill displaced. */
-    void onPrefetchIssue(Addr block, PrefetchSource source, Cycle ready,
-                         std::optional<Addr> evicted);
+    void
+    onPrefetchIssue(Addr block, PrefetchSource source, Cycle ready,
+                    std::optional<Addr> evicted)
+    {
+        if (evicted)
+            onEviction(*evicted, source);
+        ++stats_[static_cast<std::size_t>(source)].issued;
+        live_.insertOrAssign(block, LiveEntry{source, ready, false});
+    }
 
     /** A demand access touched @p block at @p now (hit or miss). */
-    void onDemandAccess(Addr block, Cycle now);
+    void
+    onDemandAccess(Addr block, Cycle now)
+    {
+        if (LiveEntry *entry = live_.find(block);
+            entry && !entry->used) {
+            entry->used = true;
+            PrefetchSourceStats &s =
+                stats_[static_cast<std::size_t>(entry->source)];
+            if (now >= entry->ready) {
+                ++s.timely;
+                s.leadCycleSum += now - entry->ready;
+            } else {
+                ++s.late;
+            }
+        }
+        // A demanded block (prefetched or not) is live demand data:
+        // if a later prefetch fill displaces it, that fill was
+        // harmful.
+        demandLive_.insert(block);
+    }
 
     /** A demand fill of @p block displaced @p evicted from the L1. */
-    void onDemandFill(Addr block, std::optional<Addr> evicted);
+    void
+    onDemandFill(Addr block, std::optional<Addr> evicted)
+    {
+        if (evicted)
+            onEviction(*evicted, std::nullopt);
+        demandLive_.insert(block);
+        // The block arrived on demand, not via prefetch: drop any
+        // stale lifecycle record (its eviction was already scored).
+        live_.erase(block);
+    }
 
     /** End of run: score still-unused live prefetches as useless. */
     void finalize();
@@ -130,41 +169,118 @@ class PrefetchLifecycleTracker
 
     /** @p block left the L1; @p byPrefetch names the displacing
      *  source when the evictor was a prefetch fill. */
-    void onEviction(Addr block,
-                    std::optional<PrefetchSource> byPrefetch);
+    void
+    onEviction(Addr block, std::optional<PrefetchSource> byPrefetch)
+    {
+        if (LiveEntry *entry = live_.find(block)) {
+            if (!entry->used) {
+                ++stats_[static_cast<std::size_t>(entry->source)]
+                      .useless;
+            } else if (byPrefetch) {
+                // The victim was prefetched data the demand stream
+                // had adopted — displacing it is pollution all the
+                // same.
+                ++stats_[static_cast<std::size_t>(*byPrefetch)].harmful;
+            }
+            live_.erase(block);
+            demandLive_.erase(block);
+            return;
+        }
+        if (demandLive_.erase(block) && byPrefetch)
+            ++stats_[static_cast<std::size_t>(*byPrefetch)].harmful;
+    }
 
     std::array<PrefetchSourceStats, numPrefetchSources> stats_{};
-    std::unordered_map<Addr, LiveEntry> live_;
-    std::unordered_set<Addr> demandLive_;
+    AddrMap<LiveEntry> live_;
+    AddrSet demandLive_{1024};
 };
 
-/** FIFO-bounded map of in-flight prefetch block addresses. */
+/**
+ * FIFO-bounded map of in-flight prefetch block addresses.
+ *
+ * The FIFO is an intrusive power-of-two ring of block addresses. A
+ * consumed block leaves the table immediately but its ring slot stays
+ * behind as a stale entry (exactly the retired-deque semantics the
+ * eviction loop always had); the ring therefore grows past the
+ * nominal capacity and is compacted only by eviction.
+ */
 class InflightPrefetchBuffer
 {
   public:
-    explicit InflightPrefetchBuffer(std::size_t capacity = 64);
+    explicit InflightPrefetchBuffer(std::size_t capacity = 64)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+        fifo_.resize(64);
+    }
 
     /**
      * Record a prefetch of @p block_addr completing at @p ready.
      * When full, the oldest entry is replaced (finite MSHRs).
      * @return false if the block was already in flight.
      */
-    bool issue(Addr block_addr, Cycle ready);
+    bool
+    issue(Addr block_addr, Cycle ready)
+    {
+        if (map_.contains(block_addr))
+            return false;
+        while (map_.size() >= capacity_ && fifoHead_ != fifoTail_) {
+            map_.erase(fifo_[fifoHead_ & (fifo_.size() - 1)]);
+            ++fifoHead_;
+        }
+        map_.insertOrAssign(block_addr, ready);
+        fifoPush(block_addr);
+        return true;
+    }
 
     /**
      * A demand access touched the block: remove and return its ready
      * cycle (nullopt if not in flight).
      */
-    std::optional<Cycle> consume(Addr block_addr);
+    std::optional<Cycle>
+    consume(Addr block_addr)
+    {
+        Cycle *ready = map_.find(block_addr);
+        if (!ready)
+            return std::nullopt;
+        const Cycle when = *ready;
+        map_.erase(block_addr);
+        // The ring may retain a stale address; issue() skips entries
+        // no longer present in the map when it evicts.
+        return when;
+    }
 
-    bool contains(Addr block_addr) const;
+    bool
+    contains(Addr block_addr) const
+    {
+        return map_.contains(block_addr);
+    }
+
     std::size_t size() const { return map_.size(); }
-    void clear();
+
+    void
+    clear()
+    {
+        map_.clear();
+        fifoHead_ = fifoTail_ = 0;
+    }
 
   private:
+    void
+    fifoPush(Addr block_addr)
+    {
+        if (fifoTail_ - fifoHead_ == fifo_.size())
+            growFifo();
+        fifo_[fifoTail_ & (fifo_.size() - 1)] = block_addr;
+        ++fifoTail_;
+    }
+
+    void growFifo();
+
     std::size_t capacity_;
-    std::unordered_map<Addr, Cycle> map_;
-    std::deque<Addr> fifo_;
+    AddrMap<Cycle> map_;
+    std::vector<Addr> fifo_; //!< power-of-two ring store
+    std::uint64_t fifoHead_ = 0;
+    std::uint64_t fifoTail_ = 0;
 };
 
 } // namespace espsim

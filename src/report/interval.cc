@@ -38,13 +38,16 @@ IntervalSampler::IntervalSampler(const StatRegistry &reg,
     // Freeze the counter name set now: stats registered later (the
     // post-run handler breakdown, derived metrics) never appear, so
     // every sample sees the same names and deltas stay well-defined.
-    const StatGroup counters = reg_.counterSnapshot();
-    series_.names.reserve(counters.values().size());
-    series_.baseline.reserve(counters.values().size());
-    for (const auto &[name, value] : counters.values()) {
-        series_.names.push_back(name);
-        series_.baseline.push_back(value);
+    // Interning the getters here makes each sample a plain walk over
+    // them — no per-sample string maps.
+    getters_.reserve(reg_.size());
+    for (StatRegistry::CounterHandle &h : reg_.counterHandles()) {
+        series_.names.push_back(std::move(h.name));
+        getters_.push_back(std::move(h.getter));
     }
+    series_.baseline.reserve(getters_.size());
+    for (const StatRegistry::Getter &getter : getters_)
+        series_.baseline.push_back(getter());
     prev_ = series_.baseline;
     nextCycle_ = period.sampleCycles;
     nextEvents_ = period.sampleEvents;
@@ -61,13 +64,10 @@ IntervalSampler::IntervalSampler(const StatRegistry &reg,
 std::vector<double>
 IntervalSampler::currentValues() const
 {
-    const StatGroup counters = reg_.counterSnapshot();
     std::vector<double> values;
-    values.reserve(series_.names.size());
-    // The registry only ever grows, so the frozen name set is a
-    // subset of the snapshot; walk it by name to stay aligned.
-    for (const std::string &name : series_.names)
-        values.push_back(counters.get(name));
+    values.reserve(getters_.size());
+    for (const StatRegistry::Getter &getter : getters_)
+        values.push_back(getter());
     return values;
 }
 

@@ -132,6 +132,9 @@ class IntervalSampler
   private:
     const StatRegistry &reg_;
     IntervalSeries series_;
+    /** Interned getters aligned with series_.names; each sample reads
+     *  these directly instead of building a string-keyed snapshot. */
+    std::vector<StatRegistry::Getter> getters_;
     std::vector<double> prev_; //!< counter values at the last sample
     Cycle nextCycle_ = 0;
     std::uint64_t nextEvents_ = 0;

@@ -74,4 +74,15 @@ StatRegistry::counterSnapshot() const
     return out;
 }
 
+std::vector<StatRegistry::CounterHandle>
+StatRegistry::counterHandles() const
+{
+    std::vector<CounterHandle> handles;
+    for (const auto &[name, entry] : entries_) {
+        if (entry.kind == StatKind::Counter)
+            handles.push_back({name, entry.getter});
+    }
+    return handles;
+}
+
 } // namespace espsim

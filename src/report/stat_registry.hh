@@ -27,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/histogram.hh"
 #include "common/stats.hh"
@@ -83,6 +84,23 @@ class StatRegistry
      * these values are exact and sum to the final aggregate.
      */
     StatGroup counterSnapshot() const;
+
+    /** An interned Counter-kind stat: its name and a copy of its
+     *  getter. */
+    struct CounterHandle
+    {
+        std::string name;
+        Getter getter;
+    };
+
+    /**
+     * Intern the Counter-kind stats: resolve each name to its getter
+     * once, in name order. Interval sampling holds these handles and
+     * re-reads values with plain calls — no per-sample string-map
+     * construction or lookups (the snapshot surface above is
+     * unchanged).
+     */
+    std::vector<CounterHandle> counterHandles() const;
 
   private:
     struct Entry

@@ -1,33 +1,7 @@
 #include "trace/event_trace.hh"
 
-#include "common/logging.hh"
-
 namespace espsim
 {
-
-std::size_t
-EventTrace::speculativeSize() const
-{
-    if (independent())
-        return ops.size();
-    return divergencePoint + divergedTail.size();
-}
-
-const MicroOp &
-EventTrace::speculativeOp(std::size_t idx) const
-{
-    if (independent() || idx < divergencePoint) {
-        if (idx >= ops.size())
-            panic("speculativeOp index %zu out of range %zu", idx,
-                  ops.size());
-        return ops[idx];
-    }
-    const std::size_t tail_idx = idx - divergencePoint;
-    if (tail_idx >= divergedTail.size())
-        panic("speculativeOp tail index %zu out of range %zu", tail_idx,
-              divergedTail.size());
-    return divergedTail[tail_idx];
-}
 
 double
 EventTrace::speculativeMatchFraction() const

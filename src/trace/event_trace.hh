@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <limits>
-#include <vector>
 
+#include "common/logging.hh"
 #include "trace/micro_op.hh"
+#include "trace/op_sequence.hh"
 
 namespace espsim
 {
@@ -50,8 +51,8 @@ class EventTrace
     /** Address of the argument object passed to the handler (§4.1). */
     Addr argObjectAddr = 0;
 
-    /** Normal-view dynamic instruction stream. */
-    std::vector<MicroOp> ops;
+    /** Normal-view dynamic instruction stream (SoA layout). */
+    OpSequence ops;
 
     /**
      * Index of the first op whose behaviour depends on a value written
@@ -66,7 +67,7 @@ class EventTrace
      * events. May be shorter than the real tail (models pre-executions
      * that veer off and fail to complete).
      */
-    std::vector<MicroOp> divergedTail;
+    OpSequence divergedTail;
 
     std::size_t size() const { return ops.size(); }
     bool independent() const { return divergencePoint == noDivergence; }
@@ -75,13 +76,35 @@ class EventTrace
      * Number of ops visible in the speculative view (normal prefix +
      * diverged tail).
      */
-    std::size_t speculativeSize() const;
+    std::size_t
+    speculativeSize() const
+    {
+        if (independent())
+            return ops.size();
+        return divergencePoint + divergedTail.size();
+    }
 
     /**
-     * Op at index @p idx as seen by a speculative pre-execution.
+     * Op at index @p idx as seen by a speculative pre-execution,
+     * assembled by value from the SoA storage. Inline: the spec
+     * pre-execution loop calls this once per op.
      * @pre idx < speculativeSize()
      */
-    const MicroOp &speculativeOp(std::size_t idx) const;
+    MicroOp
+    speculativeOp(std::size_t idx) const
+    {
+        if (independent() || idx < divergencePoint) {
+            if (idx >= ops.size())
+                panic("speculativeOp index %zu out of range %zu", idx,
+                      ops.size());
+            return ops[idx];
+        }
+        const std::size_t tail_idx = idx - divergencePoint;
+        if (tail_idx >= divergedTail.size())
+            panic("speculativeOp tail index %zu out of range %zu",
+                  tail_idx, divergedTail.size());
+        return divergedTail[tail_idx];
+    }
 
     /**
      * Fraction of speculative-view ops identical to the normal view

@@ -6,6 +6,14 @@
  * the ESP/runahead speculation engines need: program counter, memory
  * address, control-flow outcome, and register operands (the latter let
  * runahead track which instructions are invalid after a missing load).
+ *
+ * The struct is packed to 24 bytes so the decode/issue loop streams
+ * three cache lines per eight ops instead of four: the branch target
+ * lives in 32 bits (every code address the workload layout can emit —
+ * generator.hh bases — fits; the setter checks), and the op type
+ * shares a byte with the taken flag. Only `pc`, `memAddr` and the
+ * register ids remain directly-addressable fields; type, taken and
+ * branchTarget go through accessors.
  */
 
 #ifndef ESPSIM_TRACE_MICRO_OP_HH
@@ -13,6 +21,7 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace espsim
@@ -33,16 +42,16 @@ struct MicroOp
     /** Effective address for loads/stores; 0 otherwise. */
     Addr memAddr = 0;
 
-    /** Next PC actually followed by a taken branch; 0 otherwise. */
-    Addr branchTarget = 0;
+  private:
+    /** Next PC of a taken branch, truncated to 32 bits (checked). */
+    std::uint32_t target32_ = 0;
 
-    /** Operation class. */
-    OpType type = OpType::IntAlu;
+    /** Operation class in the low 7 bits, taken flag in bit 7. */
+    std::uint8_t typeTaken_ = 0;
 
-    /** Actual direction of a conditional branch (true for all taken
-     *  control transfers). */
-    bool taken = false;
+    static constexpr std::uint8_t takenBit = 0x80;
 
+  public:
     /** Source register operands (noReg if unused). */
     std::uint8_t srcA = noReg;
     std::uint8_t srcB = noReg;
@@ -50,11 +59,81 @@ struct MicroOp
     /** Destination register (noReg if none). */
     std::uint8_t dest = noReg;
 
-    bool isBranchOp() const { return isBranch(type); }
-    bool isMemoryOp() const { return isMemory(type); }
-    bool isLoad() const { return type == OpType::Load; }
-    bool isStore() const { return type == OpType::Store; }
+    /** Operation class. */
+    OpType
+    type() const
+    {
+        return static_cast<OpType>(typeTaken_ & ~takenBit);
+    }
+
+    void
+    setType(OpType type)
+    {
+        typeTaken_ = static_cast<std::uint8_t>(
+            (typeTaken_ & takenBit) | static_cast<std::uint8_t>(type));
+    }
+
+    /** Actual direction of a conditional branch (true for all taken
+     *  control transfers). */
+    bool taken() const { return (typeTaken_ & takenBit) != 0; }
+
+    void
+    setTaken(bool taken)
+    {
+        typeTaken_ = static_cast<std::uint8_t>(
+            taken ? (typeTaken_ | takenBit) : (typeTaken_ & ~takenBit));
+    }
+
+    /** Next PC actually followed by a taken branch; 0 otherwise. */
+    Addr branchTarget() const { return target32_; }
+
+    void
+    setBranchTarget(Addr target)
+    {
+        if (target >> 32) {
+            panic("MicroOp: branch target %#llx exceeds the 32-bit "
+                  "code address space the packed layout assumes",
+                  static_cast<unsigned long long>(target));
+        }
+        target32_ = static_cast<std::uint32_t>(target);
+    }
+
+    bool isBranchOp() const { return isBranch(type()); }
+    bool isMemoryOp() const { return isMemory(type()); }
+    bool isLoad() const { return type() == OpType::Load; }
+    bool isStore() const { return type() == OpType::Store; }
+
+    /** @name SoA transport
+     * OpSequence (op_sequence.hh) stores ops as three parallel 64-bit
+     * lanes: pc, memAddr, and this packed metadata word.
+     * @{ */
+    std::uint64_t
+    metaLane() const
+    {
+        return std::uint64_t{target32_} |
+            (std::uint64_t{typeTaken_} << 32) |
+            (std::uint64_t{srcA} << 40) | (std::uint64_t{srcB} << 48) |
+            (std::uint64_t{dest} << 56);
+    }
+
+    static MicroOp
+    fromLanes(Addr pc, Addr mem_addr, std::uint64_t meta)
+    {
+        MicroOp op;
+        op.pc = pc;
+        op.memAddr = mem_addr;
+        op.target32_ = static_cast<std::uint32_t>(meta);
+        op.typeTaken_ = static_cast<std::uint8_t>(meta >> 32);
+        op.srcA = static_cast<std::uint8_t>(meta >> 40);
+        op.srcB = static_cast<std::uint8_t>(meta >> 48);
+        op.dest = static_cast<std::uint8_t>(meta >> 56);
+        return op;
+    }
+    /** @} */
 };
+
+static_assert(sizeof(MicroOp) == 24,
+              "MicroOp must stay in its packed 24-byte layout");
 
 } // namespace espsim
 

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Structure-of-arrays storage for a dynamic instruction stream.
+ *
+ * The decode/issue loop touches every op's pc and metadata but only a
+ * memory op's effective address. Storing an event's ops as three
+ * parallel 64-bit lanes (pc / memAddr / packed meta) lets that loop
+ * stream two dense arrays and pick from the third on demand, instead
+ * of striding through 24-byte records; it also keeps each lane
+ * trivially prefetchable. MicroOp remains the exchange currency:
+ * operator[] assembles one by value, and const-reference bindings at
+ * existing call sites keep working through lifetime extension.
+ */
+
+#ifndef ESPSIM_TRACE_OP_SEQUENCE_HH
+#define ESPSIM_TRACE_OP_SEQUENCE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace espsim
+{
+
+/** SoA container of MicroOps with vector-like surface. */
+class OpSequence
+{
+  public:
+    OpSequence() = default;
+
+    OpSequence(std::initializer_list<MicroOp> ops)
+    {
+        reserve(ops.size());
+        for (const MicroOp &op : ops)
+            push_back(op);
+    }
+
+    std::size_t size() const { return pc_.size(); }
+    bool empty() const { return pc_.empty(); }
+
+    void
+    reserve(std::size_t n)
+    {
+        pc_.reserve(n);
+        mem_.reserve(n);
+        meta_.reserve(n);
+    }
+
+    void
+    clear()
+    {
+        pc_.clear();
+        mem_.clear();
+        meta_.clear();
+    }
+
+    void
+    push_back(const MicroOp &op)
+    {
+        pc_.push_back(op.pc);
+        mem_.push_back(op.memAddr);
+        meta_.push_back(op.metaLane());
+    }
+
+    /** Assemble the op at @p i by value. */
+    MicroOp
+    operator[](std::size_t i) const
+    {
+        assert(i < size());
+        return MicroOp::fromLanes(pc_[i], mem_[i], meta_[i]);
+    }
+
+    /** Overwrite the op at @p i. */
+    void
+    set(std::size_t i, const MicroOp &op)
+    {
+        assert(i < size());
+        pc_[i] = op.pc;
+        mem_[i] = op.memAddr;
+        meta_[i] = op.metaLane();
+    }
+
+    /** @name Lane accessors for the hot decode/issue loop. @{ */
+    Addr pc(std::size_t i) const { return pc_[i]; }
+    Addr memAddr(std::size_t i) const { return mem_[i]; }
+    std::uint64_t metaLane(std::size_t i) const { return meta_[i]; }
+    const Addr *pcLane() const { return pc_.data(); }
+    const Addr *memLane() const { return mem_.data(); }
+    const std::uint64_t *metaLaneData() const { return meta_.data(); }
+    /** @} */
+
+    /** Input iterator yielding MicroOps by value (range-for support;
+     *  `const MicroOp &` bindings live through lifetime extension). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = MicroOp;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const MicroOp *;
+        using reference = MicroOp;
+
+        const_iterator(const OpSequence *seq, std::size_t i)
+            : seq_(seq), i_(i)
+        {
+        }
+
+        MicroOp operator*() const { return (*seq_)[i_]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+
+        bool
+        operator==(const const_iterator &other) const
+        {
+            return i_ == other.i_;
+        }
+
+        bool
+        operator!=(const const_iterator &other) const
+        {
+            return i_ != other.i_;
+        }
+
+      private:
+        const OpSequence *seq_;
+        std::size_t i_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+
+  private:
+    std::vector<Addr> pc_;
+    std::vector<Addr> mem_;
+    std::vector<std::uint64_t> meta_;
+};
+
+} // namespace espsim
+
+#endif // ESPSIM_TRACE_OP_SEQUENCE_HH

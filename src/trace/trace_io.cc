@@ -42,9 +42,9 @@ putOp(std::ostream &out, const MicroOp &op)
 {
     put<std::uint64_t>(out, op.pc);
     put<std::uint64_t>(out, op.memAddr);
-    put<std::uint64_t>(out, op.branchTarget);
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(op.type));
-    put<std::uint8_t>(out, op.taken ? 1 : 0);
+    put<std::uint64_t>(out, op.branchTarget());
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(op.type()));
+    put<std::uint8_t>(out, op.taken() ? 1 : 0);
     put<std::uint8_t>(out, op.srcA);
     put<std::uint8_t>(out, op.srcB);
     put<std::uint8_t>(out, op.dest);
@@ -62,11 +62,15 @@ getOp(std::istream &in, MicroOp &op)
     }
     if (type > static_cast<std::uint8_t>(OpType::Return))
         return false;
+    // The packed MicroOp layout stores branch targets in 32 bits;
+    // reject rather than truncate a file claiming a wider target.
+    if (tgt >> 32)
+        return false;
     op.pc = pc;
     op.memAddr = mem;
-    op.branchTarget = tgt;
-    op.type = static_cast<OpType>(type);
-    op.taken = taken != 0;
+    op.setBranchTarget(tgt);
+    op.setType(static_cast<OpType>(type));
+    op.setTaken(taken != 0);
     op.srcA = a;
     op.srcB = b;
     op.dest = d;
@@ -164,15 +168,19 @@ readWorkload(std::istream &in)
                 return nullptr;
             ev.divergencePoint = static_cast<std::size_t>(divergence);
         }
-        ev.ops.resize(static_cast<std::size_t>(num_ops));
-        for (MicroOp &op : ev.ops) {
+        ev.ops.reserve(static_cast<std::size_t>(num_ops));
+        for (std::uint64_t k = 0; k < num_ops; ++k) {
+            MicroOp op;
             if (!getOp(in, op))
                 return nullptr;
+            ev.ops.push_back(op);
         }
-        ev.divergedTail.resize(static_cast<std::size_t>(num_tail));
-        for (MicroOp &op : ev.divergedTail) {
+        ev.divergedTail.reserve(static_cast<std::size_t>(num_tail));
+        for (std::uint64_t k = 0; k < num_tail; ++k) {
+            MicroOp op;
             if (!getOp(in, op))
                 return nullptr;
+            ev.divergedTail.push_back(op);
         }
         events.push_back(std::move(ev));
     }

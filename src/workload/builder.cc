@@ -37,7 +37,7 @@ WorkloadBuilder::alu(Addr pc)
 {
     MicroOp o;
     o.pc = pc;
-    o.type = OpType::IntAlu;
+    o.setType(OpType::IntAlu);
     o.dest = 1;
     return op(o);
 }
@@ -55,7 +55,7 @@ WorkloadBuilder::load(Addr pc, Addr addr, std::uint8_t dest)
 {
     MicroOp o;
     o.pc = pc;
-    o.type = OpType::Load;
+    o.setType(OpType::Load);
     o.memAddr = addr;
     o.dest = dest;
     return op(o);
@@ -66,7 +66,7 @@ WorkloadBuilder::store(Addr pc, Addr addr)
 {
     MicroOp o;
     o.pc = pc;
-    o.type = OpType::Store;
+    o.setType(OpType::Store);
     o.memAddr = addr;
     o.srcA = 1;
     return op(o);
@@ -77,9 +77,9 @@ WorkloadBuilder::branch(Addr pc, bool taken, Addr target)
 {
     MicroOp o;
     o.pc = pc;
-    o.type = OpType::BranchCond;
-    o.taken = taken;
-    o.branchTarget = taken ? target : 0;
+    o.setType(OpType::BranchCond);
+    o.setTaken(taken);
+    o.setBranchTarget(taken ? target : 0);
     return op(o);
 }
 
@@ -88,9 +88,9 @@ WorkloadBuilder::call(Addr pc, Addr target)
 {
     MicroOp o;
     o.pc = pc;
-    o.type = OpType::Call;
-    o.taken = true;
-    o.branchTarget = target;
+    o.setType(OpType::Call);
+    o.setTaken(true);
+    o.setBranchTarget(target);
     return op(o);
 }
 
@@ -99,15 +99,15 @@ WorkloadBuilder::ret(Addr pc, Addr target)
 {
     MicroOp o;
     o.pc = pc;
-    o.type = OpType::Return;
-    o.taken = true;
-    o.branchTarget = target;
+    o.setType(OpType::Return);
+    o.setTaken(true);
+    o.setBranchTarget(target);
     return op(o);
 }
 
 WorkloadBuilder &
 WorkloadBuilder::dependsOnPrevious(std::size_t divergence_point,
-                                   std::vector<MicroOp> diverged_tail)
+                                   OpSequence diverged_tail)
 {
     EventTrace &trace = current();
     if (trace.id == 0)

@@ -58,7 +58,7 @@ class WorkloadBuilder
      * and follows @p diverged_tail instead.
      */
     WorkloadBuilder &dependsOnPrevious(std::size_t divergence_point,
-                                       std::vector<MicroOp> diverged_tail);
+                                       OpSequence diverged_tail);
 
     /** Number of ops in the event currently being built. */
     std::size_t currentEventSize() const;

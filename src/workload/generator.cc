@@ -49,7 +49,7 @@ enum class TermKind
 struct Walk
 {
     Rng rng;
-    std::vector<MicroOp> out;
+    OpSequence out;
     std::size_t targetLen = 0;
     Addr pc = 0;
     std::vector<Addr> callStack;
@@ -419,7 +419,7 @@ class WalkEngine
         const std::uint64_t h = mix(st.pc, p_.seed, 0x0b);
         const double u = static_cast<double>(h % 10000) / 10000.0;
         if (u < p_.loadFrac) {
-            op.type = OpType::Load;
+            op.setType(OpType::Load);
             op.memAddr = dataAddress(st);
             st.lastDataBlock = blockAlign(op.memAddr);
             op.dest = static_cast<std::uint8_t>((h >> 16) % 24);
@@ -428,7 +428,7 @@ class WalkEngine
                 : static_cast<std::uint8_t>(st.rng.below(numArchRegs));
             st.lastDest = op.dest;
         } else if (u < p_.loadFrac + p_.storeFrac) {
-            op.type = OpType::Store;
+            op.setType(OpType::Store);
             op.memAddr = dataAddress(st);
             st.lastDataBlock = blockAlign(op.memAddr);
             op.srcA = st.rng.chance(0.40) && st.lastDest != noReg
@@ -439,7 +439,7 @@ class WalkEngine
             const double fp_cut =
                 p_.loadFrac + p_.storeFrac +
                 p_.fpFrac * (1.0 - p_.loadFrac - p_.storeFrac);
-            op.type = u < fp_cut ? OpType::FpAlu : OpType::IntAlu;
+            op.setType(u < fp_cut ? OpType::FpAlu : OpType::IntAlu);
             op.dest = static_cast<std::uint8_t>((h >> 16) % numArchRegs);
             op.srcA = st.rng.chance(0.45) && st.lastDest != noReg
                 ? st.lastDest
@@ -457,9 +457,9 @@ class WalkEngine
     {
         MicroOp op;
         op.pc = st.pc;
-        op.type = type;
-        op.taken = taken;
-        op.branchTarget = taken ? target : 0;
+        op.setType(type);
+        op.setTaken(taken);
+        op.setBranchTarget(taken ? target : 0);
         op.srcA = st.lastDest != noReg && st.rng.chance(0.2)
             ? st.lastDest
             : static_cast<std::uint8_t>(st.rng.below(numArchRegs));

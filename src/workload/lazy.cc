@@ -15,6 +15,14 @@ LazyWorkload::LazyWorkload(AppProfile profile, std::size_t window)
 {
 }
 
+std::vector<LazyWorkload::Entry>::iterator
+LazyWorkload::findAt(std::vector<Entry> &entries, std::size_t idx)
+{
+    return std::lower_bound(
+        entries.begin(), entries.end(), idx,
+        [](const Entry &e, std::size_t i) { return e.first < i; });
+}
+
 const EventTrace &
 LazyWorkload::event(std::size_t idx) const
 {
@@ -24,12 +32,11 @@ LazyWorkload::event(std::size_t idx) const
 
     std::lock_guard<std::mutex> lock(mutex_);
 
-    auto it = cache_.find(idx);
-    if (it == cache_.end()) {
-        it = cache_
-                 .emplace(idx, std::make_shared<const EventTrace>(
-                                   generator_.generateEvent(idx)))
-                 .first;
+    auto it = findAt(cache_, idx);
+    if (it == cache_.end() || it->first != idx) {
+        it = cache_.insert(
+            it, {idx, std::make_shared<const EventTrace>(
+                          generator_.generateEvent(idx))});
         ++generations_;
     }
     std::shared_ptr<const EventTrace> trace = it->second;
@@ -39,13 +46,29 @@ LazyWorkload::event(std::size_t idx) const
     // Pins are keyed by index and dropped only once this thread has
     // moved window_ events past them; re-requesting a lookahead event
     // therefore never pushes an older, still-live reference out.
-    auto &pins = pins_[std::this_thread::get_id()];
-    pins[idx] = trace;
-    for (auto pin = pins.begin(); pin != pins.end();) {
-        if (pin->first + window_ > idx + 1)
+    const std::thread::id tid = std::this_thread::get_id();
+    PinWindow *win = nullptr;
+    for (PinWindow &w : pins_) {
+        if (w.tid == tid) {
+            win = &w;
             break;
-        pin = pins.erase(pin);
+        }
     }
+    if (!win) {
+        pins_.push_back(PinWindow{tid, {}});
+        win = &pins_.back();
+    }
+    auto pin = findAt(win->pins, idx);
+    if (pin == win->pins.end() || pin->first != idx)
+        win->pins.insert(pin, {idx, trace});
+    else
+        pin->second = trace;
+    std::size_t drop = 0;
+    while (drop < win->pins.size() &&
+           win->pins[drop].first + window_ <= idx + 1) {
+        ++drop;
+    }
+    win->pins.erase(win->pins.begin(), win->pins.begin() + drop);
 
     // Evict traces far behind the requested index; references to
     // events in [idx - 1, idx + window) stay valid, which covers the
@@ -53,14 +76,13 @@ LazyWorkload::event(std::size_t idx) const
     // (possibly lagging) reader are skipped, so the cache is bounded
     // by one window per reader thread plus the caller's live window.
     const std::size_t budget = window_ * pins_.size();
-    for (auto victim = cache_.begin();
-         cache_.size() > budget && victim != cache_.end();) {
-        if (victim->first + window_ > idx + 1)
+    for (std::size_t v = 0; cache_.size() > budget && v < cache_.size();) {
+        if (cache_[v].first + window_ > idx + 1)
             break; // inside the caller's live window (and beyond)
-        if (victim->second.use_count() > 1)
-            ++victim; // another reader still holds it pinned
+        if (cache_[v].second.use_count() > 1)
+            ++v; // another reader still holds it pinned
         else
-            victim = cache_.erase(victim);
+            cache_.erase(cache_.begin() + v);
     }
 
     return *trace;

@@ -21,10 +21,11 @@
 #define ESPSIM_WORKLOAD_LAZY_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "trace/workload.hh"
 #include "workload/generator.hh"
@@ -55,23 +56,35 @@ class LazyWorkload : public Workload
     std::size_t numEvents_;
     std::size_t window_;
 
+    /** One cached trace, keyed by event index. */
+    using Entry =
+        std::pair<std::size_t, std::shared_ptr<const EventTrace>>;
+
     mutable std::mutex mutex_;
-    mutable std::map<std::size_t, std::shared_ptr<const EventTrace>>
-        cache_;
+    /** Sorted by event index; binary-searched. The window is small
+     *  (a handful of entries per reader), so a flat vector beats the
+     *  node-per-entry std::map it replaced. */
+    mutable std::vector<Entry> cache_;
     /**
      * Traces handed to each reader thread recently, keyed by event
-     * index. A pin keeps its trace alive (shared_ptr) even after
-     * cache eviction, and is released only once the thread requests
-     * an index window_ ahead — so returned references honour the
-     * validity contract no matter how many event() calls the thread
-     * makes in between (ESP re-requests its lookahead events on
+     * index (sorted). A pin keeps its trace alive (shared_ptr) even
+     * after cache eviction, and is released only once the thread
+     * requests an index window_ ahead — so returned references honour
+     * the validity contract no matter how many event() calls the
+     * thread makes in between (ESP re-requests its lookahead events on
      * every stall episode).
      */
-    mutable std::map<
-        std::thread::id,
-        std::map<std::size_t, std::shared_ptr<const EventTrace>>>
-        pins_;
+    struct PinWindow
+    {
+        std::thread::id tid;
+        std::vector<Entry> pins; //!< sorted by event index
+    };
+    mutable std::vector<PinWindow> pins_;
     mutable std::uint64_t generations_ = 0;
+
+    /** Sorted-vector lower bound on the event-index key. */
+    static std::vector<Entry>::iterator
+    findAt(std::vector<Entry> &entries, std::size_t idx);
 };
 
 } // namespace espsim

@@ -22,9 +22,9 @@ condBranch(Addr pc, bool taken, Addr target = 0)
 {
     MicroOp op;
     op.pc = pc;
-    op.type = OpType::BranchCond;
-    op.taken = taken;
-    op.branchTarget = taken ? (target ? target : pc + 64) : 0;
+    op.setType(OpType::BranchCond);
+    op.setTaken(taken);
+    op.setBranchTarget(taken ? (target ? target : pc + 64) : 0);
     return op;
 }
 
@@ -33,9 +33,9 @@ callOp(Addr pc, Addr target)
 {
     MicroOp op;
     op.pc = pc;
-    op.type = OpType::Call;
-    op.taken = true;
-    op.branchTarget = target;
+    op.setType(OpType::Call);
+    op.setTaken(true);
+    op.setBranchTarget(target);
     return op;
 }
 
@@ -44,9 +44,9 @@ returnOp(Addr pc, Addr target)
 {
     MicroOp op;
     op.pc = pc;
-    op.type = OpType::Return;
-    op.taken = true;
-    op.branchTarget = target;
+    op.setType(OpType::Return);
+    op.setTaken(true);
+    op.setBranchTarget(target);
     return op;
 }
 
@@ -55,9 +55,9 @@ indirectOp(Addr pc, Addr target)
 {
     MicroOp op;
     op.pc = pc;
-    op.type = OpType::BranchIndirect;
-    op.taken = true;
-    op.branchTarget = target;
+    op.setType(OpType::BranchIndirect);
+    op.setTaken(true);
+    op.setBranchTarget(target);
     return op;
 }
 
@@ -318,6 +318,6 @@ TEST(PredictorDeathTest, NonBranchOpPanics)
 {
     PentiumMPredictor bp;
     MicroOp op;
-    op.type = OpType::IntAlu;
+    op.setType(OpType::IntAlu);
     EXPECT_DEATH(bp.executeBranch(op), "non-branch");
 }

@@ -62,7 +62,7 @@ independentAlus(std::size_t n)
     for (std::size_t i = 0; i < n; ++i) {
         MicroOp op;
         op.pc = 0x1000 + 4 * (i % 16);
-        op.type = OpType::IntAlu;
+        op.setType(OpType::IntAlu);
         op.dest = static_cast<std::uint8_t>(i % 8);
         op.srcA = static_cast<std::uint8_t>(8 + (i % 8));
         op.srcB = static_cast<std::uint8_t>(16 + (i % 8));
@@ -96,7 +96,7 @@ TEST(Core, DependencyChainsReduceIpc)
     for (std::size_t i = 0; i < 4000; ++i) {
         MicroOp op;
         op.pc = 0x1000 + 4 * (i % 16);
-        op.type = OpType::IntAlu;
+        op.setType(OpType::IntAlu);
         op.dest = 1;
         op.srcA = 1; // consumes the previous result every time
         b.op(op);
@@ -128,9 +128,9 @@ TEST(Core, MispredictsCostCycles)
         lfsr = (lfsr >> 1) ^ (-(lfsr & 1u) & 0xb400u);
         MicroOp br;
         br.pc = 0x2000;
-        br.type = OpType::BranchCond;
-        br.taken = (lfsr & 1) != 0;
-        br.branchTarget = br.taken ? 0x1000 + 4 * ((i + 1) % 8) : 0;
+        br.setType(OpType::BranchCond);
+        br.setTaken((lfsr & 1) != 0);
+        br.setBranchTarget(br.taken() ? 0x1000 + 4 * ((i + 1) % 8) : 0);
         b.op(br);
     }
     auto w = b.build("flaky");

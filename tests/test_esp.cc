@@ -214,7 +214,7 @@ TEST(Esp, DataListDrivesDataPrefetches)
     esp.onEventEnd(0, 5000);
     esp.onEventStart(1, 5100);
     MicroOp dummy;
-    dummy.type = OpType::IntAlu;
+    dummy.setType(OpType::IntAlu);
     for (std::size_t i = 0; i < 60; ++i)
         esp.beforeOp(i, rig.w->event(1).ops[i], 5200 + i);
     EXPECT_GT(esp.stats().listPrefetchesData, 0u);
@@ -257,7 +257,7 @@ TEST(Esp, BListPreTrainsPredictor)
     const EventTrace &ev = rig.w->event(1);
     int miss = 0, seen = 0;
     for (std::size_t i = 0; i < ev.size() && seen < 10; ++i) {
-        if (ev.ops[i].type != OpType::BranchCond)
+        if (ev.ops[i].type() != OpType::BranchCond)
             continue;
         ++seen;
         miss += rig.bp.executeBranch(ev.ops[i]) ==
@@ -319,11 +319,11 @@ TEST(Esp, DivergentEventRecordsWrongTail)
     b.beginEvent(0x200000);
     for (int i = 0; i < 30; ++i)
         b.aluBlock(0x200000 + 128 * i, 6);
-    std::vector<MicroOp> tail;
+    OpSequence tail;
     for (int i = 0; i < 60; ++i) {
         MicroOp op;
         op.pc = 0x700000 + 4 * i; // wrong path
-        op.type = OpType::IntAlu;
+        op.setType(OpType::IntAlu);
         tail.push_back(op);
     }
     b.dependsOnPrevious(30, tail);

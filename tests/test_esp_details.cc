@@ -160,7 +160,7 @@ TEST(EspDetail, ReplicaPolicyAdoptsTablesOnPromotion)
     EXPECT_EQ(bp.predictOnly(probe).target, 0u);
     // ...after promotion the replica's tables are adopted.
     esp.onEventEnd(0, 9000);
-    EXPECT_EQ(bp.predictOnly(probe).target, probe.branchTarget);
+    EXPECT_EQ(bp.predictOnly(probe).target, probe.branchTarget());
 }
 
 TEST(EspDetail, ListBytesHonorsIdealAndDepth)

@@ -24,8 +24,8 @@ bool
 sameOp(const MicroOp &a, const MicroOp &b)
 {
     return a.pc == b.pc && a.memAddr == b.memAddr &&
-        a.branchTarget == b.branchTarget && a.type == b.type &&
-        a.taken == b.taken && a.srcA == b.srcA && a.srcB == b.srcB &&
+        a.branchTarget() == b.branchTarget() && a.type() == b.type() &&
+        a.taken() == b.taken() && a.srcA == b.srcA && a.srcB == b.srcB &&
         a.dest == b.dest;
 }
 
@@ -92,7 +92,7 @@ TEST(Generator, InstructionMixNearProfile)
     std::size_t total = 0;
     for (std::size_t e = 0; e < w->numEvents(); ++e) {
         for (const MicroOp &op : w->event(e).ops) {
-            ++counts[op.type];
+            ++counts[op.type()];
             ++total;
         }
     }
@@ -126,14 +126,14 @@ TEST(Generator, StaticProgramIsConsistent)
     std::unordered_map<Addr, Addr> call_target_at;
     for (std::size_t e = 0; e < w->numEvents(); ++e) {
         for (const MicroOp &op : w->event(e).ops) {
-            auto [it, inserted] = type_at.emplace(op.pc, op.type);
+            auto [it, inserted] = type_at.emplace(op.pc, op.type());
             if (!inserted)
-                ASSERT_EQ(it->second, op.type) << std::hex << op.pc;
-            if (op.type == OpType::Call) {
+                ASSERT_EQ(it->second, op.type()) << std::hex << op.pc;
+            if (op.type() == OpType::Call) {
                 auto [ct, cins] =
-                    call_target_at.emplace(op.pc, op.branchTarget);
+                    call_target_at.emplace(op.pc, op.branchTarget());
                 if (!cins)
-                    ASSERT_EQ(ct->second, op.branchTarget);
+                    ASSERT_EQ(ct->second, op.branchTarget());
             }
         }
     }
@@ -147,15 +147,15 @@ TEST(Generator, CallsAndReturnsPairUp)
     const EventTrace t = gen.generateEvent(3);
     std::vector<Addr> stack;
     for (const MicroOp &op : t.ops) {
-        if (op.type == OpType::Call) {
+        if (op.type() == OpType::Call) {
             // The generator drops the oldest frame at the depth bound.
             if (stack.size() >= p.maxCallDepth)
                 stack.erase(stack.begin());
             stack.push_back(op.pc + 4);
-        } else if (op.type == OpType::Return) {
+        } else if (op.type() == OpType::Return) {
             if (stack.empty())
                 continue; // dispatcher return: free target
-            ASSERT_EQ(op.branchTarget, stack.back());
+            ASSERT_EQ(op.branchTarget(), stack.back());
             stack.pop_back();
         }
     }
@@ -167,9 +167,9 @@ TEST(Generator, TakenBranchesRedirectThePc)
     const EventTrace t = gen.generateEvent(5);
     for (std::size_t i = 0; i + 1 < t.size(); ++i) {
         const MicroOp &op = t.ops[i];
-        if (op.isBranchOp() && op.taken)
-            ASSERT_EQ(t.ops[i + 1].pc, op.branchTarget);
-        else if (!op.isBranchOp() || !op.taken)
+        if (op.isBranchOp() && op.taken())
+            ASSERT_EQ(t.ops[i + 1].pc, op.branchTarget());
+        else if (!op.isBranchOp() || !op.taken())
             ASSERT_EQ(t.ops[i + 1].pc, op.pc + 4);
     }
 }

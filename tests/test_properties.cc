@@ -65,10 +65,10 @@ TEST_P(AppSweep, TraceIsWellFormed)
             // Memory ops carry addresses; branches carry outcomes.
             if (op.isMemoryOp())
                 ASSERT_NE(op.memAddr, 0u);
-            if (op.isBranchOp() && op.taken)
-                ASSERT_NE(op.branchTarget, 0u);
+            if (op.isBranchOp() && op.taken())
+                ASSERT_NE(op.branchTarget(), 0u);
             if (!op.isBranchOp())
-                ASSERT_FALSE(op.taken);
+                ASSERT_FALSE(op.taken());
         }
     }
 }
@@ -81,7 +81,7 @@ TEST_P(AppSweep, ControlFlowIsContiguous)
         for (std::size_t i = 0; i + 1 < ev.size(); ++i) {
             const MicroOp &op = ev.ops[i];
             const Addr next =
-                op.taken ? op.branchTarget : op.pc + 4;
+                op.taken() ? op.branchTarget() : op.pc + 4;
             ASSERT_EQ(ev.ops[i + 1].pc, next)
                 << GetParam() << " event " << e << " op " << i;
         }

@@ -107,14 +107,14 @@ TEST(Runahead, InvalidDestBlocksDependentLoads)
     b.load(0x1000, 0x8000000, 1);
     MicroOp dep;
     dep.pc = 0x1004;
-    dep.type = OpType::Load;
+    dep.setType(OpType::Load);
     dep.memAddr = 0x9000000;
     dep.srcA = 1; // depends on the missing load
     dep.dest = 2;
     b.op(dep);
     MicroOp indep;
     indep.pc = 0x1008;
-    indep.type = OpType::Load;
+    indep.setType(OpType::Load);
     indep.memAddr = 0xa000000;
     indep.srcA = 7;
     indep.dest = 3;
@@ -156,9 +156,9 @@ TEST(Runahead, StopsOnWrongPathWhenInvalidBranchMispredicted)
     b.load(0x1000, 0x8000000, 1);
     MicroOp br;
     br.pc = 0x1004;
-    br.type = OpType::BranchCond;
-    br.taken = true;
-    br.branchTarget = 0x2000;
+    br.setType(OpType::BranchCond);
+    br.setTaken(true);
+    br.setBranchTarget(0x2000);
     br.srcA = 1;
     b.op(br);
     b.load(0x2000, 0x9000000, 2);
@@ -238,9 +238,9 @@ TEST(Runahead, DataOnlyVariantDoesNotTrainPredictor)
     // The predictor saw nothing: a cold taken branch still mispredicts.
     MicroOp br;
     br.pc = 0x1004;
-    br.type = OpType::BranchCond;
-    br.taken = true;
-    br.branchTarget = 0x100c;
+    br.setType(OpType::BranchCond);
+    br.setTaken(true);
+    br.setBranchTarget(0x100c);
     EXPECT_EQ(rig.bp.executeBranch(br), BranchResult::Mispredict);
 }
 

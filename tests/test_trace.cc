@@ -107,11 +107,11 @@ TEST(Builder, BuildsEventsInOrder)
     EXPECT_EQ(e0.handlerPc, 0x1000u);
     EXPECT_EQ(e0.argObjectAddr, 0x9000u);
     ASSERT_EQ(e0.size(), 5u);
-    EXPECT_EQ(e0.ops[3].type, OpType::Load);
+    EXPECT_EQ(e0.ops[3].type(), OpType::Load);
     EXPECT_EQ(e0.ops[3].memAddr, 0x5000u);
     EXPECT_EQ(e0.ops[3].dest, 2);
-    EXPECT_TRUE(e0.ops[4].taken);
-    EXPECT_EQ(e0.ops[4].branchTarget, 0x1100u);
+    EXPECT_TRUE(e0.ops[4].taken());
+    EXPECT_EQ(e0.ops[4].branchTarget(), 0x1100u);
     EXPECT_EQ(w->event(1).id, 1u);
 }
 
@@ -122,9 +122,9 @@ TEST(Builder, CallAndReturnOps)
     b.call(0x1000, 0x2000).ret(0x2000, 0x1004);
     auto w = b.build("cr");
     const EventTrace &e = w->event(0);
-    EXPECT_EQ(e.ops[0].type, OpType::Call);
-    EXPECT_EQ(e.ops[1].type, OpType::Return);
-    EXPECT_EQ(e.ops[1].branchTarget, 0x1004u);
+    EXPECT_EQ(e.ops[0].type(), OpType::Call);
+    EXPECT_EQ(e.ops[1].type(), OpType::Return);
+    EXPECT_EQ(e.ops[1].branchTarget(), 0x1004u);
 }
 
 TEST(Builder, DependsOnPreviousSetsDivergence)

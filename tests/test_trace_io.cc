@@ -23,8 +23,8 @@ bool
 sameOp(const MicroOp &a, const MicroOp &b)
 {
     return a.pc == b.pc && a.memAddr == b.memAddr &&
-        a.branchTarget == b.branchTarget && a.type == b.type &&
-        a.taken == b.taken && a.srcA == b.srcA && a.srcB == b.srcB &&
+        a.branchTarget() == b.branchTarget() && a.type() == b.type() &&
+        a.taken() == b.taken() && a.srcA == b.srcA && a.srcB == b.srcB &&
         a.dest == b.dest;
 }
 
