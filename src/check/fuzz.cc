@@ -207,6 +207,46 @@ roundtripMismatch(const std::vector<SimConfig> &configs,
 }
 
 /**
+ * Oracle: the streaming workload core is a perfect stand-in for a
+ * fully-materialised trace. Replaying the same profile through
+ * SuiteRunner's streaming path (bounded sliding window, worker
+ * threads pinning events concurrently) must yield a byte-identical
+ * suite artifact — not just equal stats, the exact same serialised
+ * bytes.
+ */
+std::string
+streamingMismatch(const FuzzCase &c,
+                  const std::vector<SimConfig> &configs,
+                  const std::vector<SuiteRow> &materialized)
+{
+    SuiteRunner runner({c.profile});
+    runner.setJobs(2);
+    runner.setStreaming(true);
+    const std::vector<SuiteRow> srows = runner.run(configs);
+    if (suiteHasErrors(srows)) {
+        for (const SuiteRow &row : srows) {
+            for (std::size_t cfg = 0; cfg < configs.size(); ++cfg) {
+                if (!row.ok(cfg))
+                    return "streaming cell failed (" +
+                        configs[cfg].name + "): " +
+                        row.errors[cfg].message;
+            }
+        }
+    }
+    ArtifactManifest manifest;
+    manifest.source = "espsim-fuzz";
+    const std::string a =
+        renderSuiteArtifactJson(manifest, configs, materialized);
+    const std::string b =
+        renderSuiteArtifactJson(manifest, configs, srows);
+    if (a != b)
+        return "streamed artifact bytes differ from materialised "
+               "trace (same profile seed " +
+            std::to_string(c.profile.seed) + ")";
+    return {};
+}
+
+/**
  * Oracle: interval sampling telescopes. For every counter and any
  * sample period, baseline + Σ interval deltas must equal the final
  * snapshot *exactly* (counters are uint64-backed, exact in a double
@@ -404,6 +444,12 @@ checkFuzzCase(const FuzzCase &c)
     // Oracle: the artifact is a faithful serialisation.
     if (std::string m = roundtripMismatch(configs, rows1); !m.empty())
         return {"artifact-roundtrip", std::move(m)};
+
+    // Oracle: streamed window replay == fully-materialised trace.
+    if (std::string m = streamingMismatch(c, configs, rows1);
+        !m.empty()) {
+        return {"streaming-equivalence", std::move(m)};
+    }
 
     // Oracle: interval deltas telescope at any sample period.
     if (std::string m = intervalClosureMismatch(c, *workload);

@@ -9,6 +9,62 @@
 namespace espsim
 {
 
+namespace
+{
+
+/** splitmix64 step: cheap, full-period, seed-deterministic. */
+std::uint64_t
+nextRandom(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+SampleStat::record(double sample)
+{
+    if (capacity_ == 0) {
+        samples_.push_back(sample);
+        sorted_ = false;
+        return;
+    }
+    ++count_;
+    sum_ += sample;
+    if (count_ == 1 || sample > max_)
+        max_ = sample;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(sample);
+        sorted_ = false;
+        return;
+    }
+    // Algorithm R: the n-th sample replaces a uniformly chosen
+    // resident one with probability capacity / n, keeping the
+    // reservoir a uniform sample of the whole stream.
+    const std::uint64_t j = nextRandom(rngState_) % count_;
+    if (j < capacity_) {
+        samples_[static_cast<std::size_t>(j)] = sample;
+        sorted_ = false;
+    }
+}
+
+void
+SampleStat::enableReservoir(std::size_t capacity, std::uint64_t seed)
+{
+    if (capacity == 0)
+        panic("SampleStat reservoir capacity must be non-zero");
+    if (!samples_.empty())
+        panic("enableReservoir after %zu samples were recorded",
+              samples_.size());
+    capacity_ = capacity;
+    rngState_ = seed;
+    samples_.reserve(capacity);
+}
+
 void
 SampleStat::ensureSorted() const
 {
@@ -21,6 +77,8 @@ SampleStat::ensureSorted() const
 double
 SampleStat::max() const
 {
+    if (capacity_ != 0)
+        return count_ ? max_ : 0.0;
     if (samples_.empty())
         return 0.0;
     ensureSorted();
@@ -30,6 +88,8 @@ SampleStat::max() const
 double
 SampleStat::mean() const
 {
+    if (capacity_ != 0)
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
     if (samples_.empty())
         return 0.0;
     const double sum =

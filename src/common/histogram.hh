@@ -1,26 +1,46 @@
 /**
  * @file
  * Sample accumulator with percentile queries, used for working-set
- * analysis (paper Figure 13) and distribution checks in tests.
+ * analysis (paper Figure 13), tail-latency accounting (espsim serve)
+ * and distribution checks in tests.
  */
 
 #ifndef ESPSIM_COMMON_HISTOGRAM_HH
 #define ESPSIM_COMMON_HISTOGRAM_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace espsim
 {
 
-/** Collects raw samples; answers max / mean / percentile queries. */
+/**
+ * Collects samples; answers count / max / mean / percentile queries.
+ *
+ * Two storage modes:
+ *  - buffered (default): every sample is kept, percentiles are exact.
+ *  - reservoir (enableReservoir): a fixed-capacity uniform sample of
+ *    the stream (Vitter's Algorithm R) bounds memory for million-event
+ *    runs; count / mean / max stay exact (running accumulators), and
+ *    percentiles become estimates over the reservoir. Replacement
+ *    decisions come from a private seeded generator, so results are a
+ *    pure function of (seed, sample stream).
+ *
+ * Below the capacity the reservoir holds the whole stream, so small-N
+ * results are identical to the buffered path.
+ */
 class SampleStat
 {
   public:
-    void record(double sample) { samples_.push_back(sample); }
+    void record(double sample);
 
-    std::size_t count() const { return samples_.size(); }
-    bool empty() const { return samples_.empty(); }
+    std::size_t count() const
+    {
+        return capacity_ ? static_cast<std::size_t>(count_)
+                         : samples_.size();
+    }
+    bool empty() const { return count() == 0; }
 
     /** Largest recorded sample (0 when empty). */
     double max() const;
@@ -30,13 +50,26 @@ class SampleStat
 
     /**
      * Value at percentile @p pct in [0, 100], by nearest-rank on the
-     * sorted samples (0 when empty).
+     * sorted (retained) samples (0 when empty).
      */
     double percentile(double pct) const;
+
+    /**
+     * Switch to bounded-memory reservoir sampling. Must be called
+     * before the first record(); @p capacity must be non-zero.
+     */
+    void enableReservoir(std::size_t capacity, std::uint64_t seed);
+    bool reservoirEnabled() const { return capacity_ != 0; }
 
   private:
     mutable std::vector<double> samples_;
     mutable bool sorted_ = false;
+
+    std::size_t capacity_ = 0;   //!< 0 = buffered mode
+    std::uint64_t rngState_ = 0; //!< splitmix64 replacement draws
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
 
     void ensureSorted() const;
 };

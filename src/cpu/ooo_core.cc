@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "cpu/pacer.hh"
 #include "report/interval.hh"
 
 namespace espsim
@@ -22,6 +23,7 @@ cycleBucketName(CycleBucket bucket)
       case CycleBucket::LooperOverhead: return "looper_overhead";
       case CycleBucket::EspPreExec: return "esp_pre_exec";
       case CycleBucket::Runahead: return "runahead";
+      case CycleBucket::Idle: return "idle";
     }
     panic("cycleBucketName: bad bucket %u",
           static_cast<unsigned>(bucket));
@@ -371,14 +373,28 @@ OoOCore::run(const Workload &workload)
         const CycleBucketArray buckets_at_start = stats_.bucketCycles;
         const PrefetchIssueCounts pf_at_start =
             mem_.prefetchIssuedBySource();
+        Cycle queued_at = fetchCycle_;
+        if (pacer_) {
+            queued_at = pacer_->eventArrival(idx, fetchCycle_);
+            if (queued_at > fetchCycle_) {
+                // The queue is empty until the event arrives: the
+                // core idles, and those cycles get their own bucket
+                // so Σ buckets == cycles still closes.
+                charge(CycleBucket::Idle, queued_at - fetchCycle_);
+                fetchCycle_ = queued_at;
+                slotInCycle_ = 0;
+            }
+        }
         if (timeline_)
-            timeline_->eventQueued(idx, fetchCycle_);
+            timeline_->eventQueued(idx, queued_at);
         // The hook fires before the looper-gap instructions so the ESP
         // list prefetcher gets its ~70-instruction head start (§3.6).
         hooks_.onEventStart(idx, fetchCycle_);
         executeLooperOverhead();
         if (timeline_)
             timeline_->eventDispatched(idx, fetchCycle_);
+        if (pacer_)
+            pacer_->eventDispatched(idx, fetchCycle_);
         const InstCount instr_at_dispatch = stats_.instructions;
         const EventTrace &event = workload.event(idx);
         curFetchBlock_ = ~Addr{0};
@@ -438,6 +454,8 @@ OoOCore::run(const Workload &workload)
             }
             timeline_->eventPrefetchTallies(idx, std::move(pf_args));
         }
+        if (pacer_)
+            pacer_->eventRetired(idx, fetchCycle_);
         if (sampler_)
             sampler_->onEventRetired(stats_.events, fetchCycle_);
     }

@@ -40,6 +40,7 @@ namespace espsim
 {
 
 class IntervalSampler;
+class EventPacer;
 
 /** Core pipeline parameters (defaults = paper Figure 7). */
 struct CoreConfig
@@ -97,9 +98,10 @@ enum class CycleBucket : std::uint8_t
     LooperOverhead,     //!< inter-event looper-thread instructions
     EspPreExec,         //!< stall shadow consumed by ESP pre-execution
     Runahead,           //!< stall shadow consumed by runahead
+    Idle,               //!< empty event queue (paced/server runs only)
 };
 
-constexpr unsigned numCycleBuckets = 10;
+constexpr unsigned numCycleBuckets = 11;
 
 /** Stable snake_case stat-name token for @p bucket. */
 const char *cycleBucketName(CycleBucket bucket);
@@ -254,6 +256,14 @@ class OoOCore
      */
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
+    /**
+     * Attach an opt-in event pacer (nullptr detaches): arrivals gate
+     * event dispatch, queue-empty time is charged to the Idle bucket,
+     * and the pacer observes dispatch/retire timestamps (the serve
+     * path's latency probe).
+     */
+    void setPacer(EventPacer *pacer) { pacer_ = pacer; }
+
     /** Current-fetch-cycle accessor for hooks/tests. */
     Cycle now() const { return fetchCycle_; }
 
@@ -278,6 +288,7 @@ class OoOCore
     CoreStats stats_;
     EventTimeline *timeline_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
+    EventPacer *pacer_ = nullptr;
 
     // Pipeline state.
     Cycle fetchCycle_ = 0;

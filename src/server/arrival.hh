@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Seeded-deterministic request arrival processes for the serve path.
+ *
+ * Three disciplines, all pure functions of (config, seed):
+ *  - Poisson: open-loop, exponentially distributed inter-arrival gaps
+ *    at a fixed mean — the classic memoryless request stream.
+ *  - Bursty: open-loop Markov-modulated Poisson process (MMPP) with
+ *    two states; the stream alternates between a burst state (short
+ *    gaps) and a calm state (long gaps), with exponentially
+ *    distributed state dwell times. Same long-run mean structure as
+ *    Poisson but with the traffic variance real services see.
+ *  - Closed-loop: a fixed population of @c concurrency clients, each
+ *    issuing its next request @c thinkCycles after its previous one
+ *    retired. Load self-regulates with service time — the canonical
+ *    benchmark-harness discipline.
+ *
+ * Open-loop processes ignore retire feedback; the closed-loop one is
+ * driven by it (the pacer forwards every retirement).
+ */
+
+#ifndef ESPSIM_SERVER_ARRIVAL_HH
+#define ESPSIM_SERVER_ARRIVAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace espsim
+{
+
+/** Which arrival discipline drives the serve run. */
+enum class ArrivalKind
+{
+    Poisson,
+    Bursty,
+    ClosedLoop,
+};
+
+/** Stable CLI/artifact token for @p kind. */
+const char *arrivalKindName(ArrivalKind kind);
+
+/** Parse a CLI token; returns false on an unknown name. */
+bool parseArrivalKind(const std::string &token, ArrivalKind &out);
+
+/** Knobs for every discipline (unused fields are ignored). */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Open-loop mean inter-arrival gap, cycles. */
+    double meanGapCycles = 3000.0;
+    /** Burst-state gap multiplier (< 1 = faster than the mean). */
+    double burstGapFactor = 0.25;
+    /** Calm-state gap multiplier (> 1 = slower than the mean). */
+    double calmGapFactor = 2.5;
+    /** Mean dwell in the burst state, cycles. */
+    double meanBurstCycles = 150000.0;
+    /** Mean dwell in the calm state, cycles. */
+    double meanCalmCycles = 450000.0;
+    /** Closed-loop client population. */
+    unsigned concurrency = 4;
+    /** Closed-loop think time between retire and next issue. */
+    Cycle thinkCycles = 2000;
+    /** Seed for the discipline's private random stream. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/**
+ * One request-arrival schedule. arrivalCycle() is called exactly once
+ * per event, in event order; onEventRetired() once per retirement, in
+ * order. Implementations must be deterministic given the config.
+ */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** The discipline's stable name (artifact metadata). */
+    virtual const char *kindName() const = 0;
+
+    /** Arrival cycle of event @p idx (non-decreasing in idx). */
+    virtual Cycle arrivalCycle(std::uint64_t idx) = 0;
+
+    /** Feedback: event @p idx retired at @p retireCycle. */
+    virtual void onEventRetired(std::uint64_t idx, Cycle retireCycle)
+    {
+        (void)idx;
+        (void)retireCycle;
+    }
+};
+
+/** Build the configured process (panics on a bad config). */
+std::unique_ptr<ArrivalProcess>
+makeArrivalProcess(const ArrivalConfig &config);
+
+} // namespace espsim
+
+#endif // ESPSIM_SERVER_ARRIVAL_HH

@@ -1,0 +1,156 @@
+#include "server/serve.hh"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/version.hh"
+#include "cpu/ooo_core.hh"
+#include "report/json_writer.hh"
+#include "workload/streaming.hh"
+
+namespace espsim
+{
+
+ServeReport
+runServe(const ServerProfile &profile,
+         const std::vector<SimConfig> &configs,
+         const ServeOptions &opts)
+{
+    if (configs.empty())
+        panic("runServe: no configs");
+
+    ServerProfile p = profile;
+    if (opts.events > 0)
+        p.app.numEvents = opts.events;
+
+    ServeReport report;
+    report.profile = p.name;
+    report.profileDescription = p.description;
+    report.events = p.app.numEvents;
+    report.window = opts.window;
+    report.reservoirCapacity = opts.reservoirCapacity;
+    report.arrival = opts.arrival;
+    report.configHash = configsHash(configs);
+    for (const SimConfig &c : configs)
+        report.configNames.push_back(c.name);
+
+    for (const SimConfig &config : configs) {
+        // A fresh streaming workload per config: each replay starts at
+        // event 0 with an empty pin window, so resident-trace bounds
+        // (and thus peak RSS) don't accumulate across configs.
+        StreamingWorkload workload(
+            std::make_unique<ServerTraceSource>(p), opts.window);
+        ServePacer pacer(makeArrivalProcess(opts.arrival),
+                         opts.reservoirCapacity, opts.arrival.seed);
+        RunInstrumentation inst;
+        inst.pacer = &pacer;
+        const SimResult r = Simulator(config).run(workload, inst);
+
+        ServeCell cell;
+        cell.config = config.name;
+        cell.cycles = r.cycles;
+        cell.ipc = r.ipc;
+        cell.idleCycles = r.core.bucketCycles[static_cast<std::size_t>(
+            CycleBucket::Idle)];
+        cell.events = pacer.events();
+        cell.queue = summarizeLatency(pacer.queueLatency());
+        cell.service = summarizeLatency(pacer.serviceLatency());
+        cell.total = summarizeLatency(pacer.totalLatency());
+        cell.histogram.assign(pacer.histogram().begin(),
+                              pacer.histogram().end());
+        report.cells.push_back(std::move(cell));
+    }
+    return report;
+}
+
+namespace
+{
+
+void
+writeLatencyClass(JsonWriter &w, const char *name,
+                  const LatencySummary &s)
+{
+    w.key(name).beginObject();
+    w.key("count").value(std::uint64_t{s.count});
+    w.key("mean").value(s.mean);
+    w.key("max").value(s.max);
+    w.key("p50").value(s.p50);
+    w.key("p95").value(s.p95);
+    w.key("p99").value(s.p99);
+    w.key("p999").value(s.p999);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+renderLatencyArtifactJson(const ArtifactManifest &manifest,
+                          const ServeReport &report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("espsim-latency-artifact");
+    w.key("format_version").value(std::uint64_t{artifactFormatVersion});
+
+    w.key("manifest").beginObject();
+    w.key("source").value(manifest.source);
+    w.key("tool_version")
+        .value(manifest.toolVersion.empty() ? versionString()
+                                            : manifest.toolVersion);
+    w.key("build_type")
+        .value(manifest.buildType.empty() ? buildTypeString()
+                                          : manifest.buildType);
+    w.key("config_hash").value(report.configHash);
+    w.key("profile").value(report.profile);
+    w.key("events").value(std::uint64_t{report.events});
+    w.key("window").value(std::uint64_t{report.window});
+    w.key("reservoir_capacity")
+        .value(std::uint64_t{report.reservoirCapacity});
+    w.key("arrival").beginObject();
+    w.key("kind").value(arrivalKindName(report.arrival.kind));
+    w.key("mean_gap_cycles").value(report.arrival.meanGapCycles);
+    w.key("burst_gap_factor").value(report.arrival.burstGapFactor);
+    w.key("calm_gap_factor").value(report.arrival.calmGapFactor);
+    w.key("mean_burst_cycles").value(report.arrival.meanBurstCycles);
+    w.key("mean_calm_cycles").value(report.arrival.meanCalmCycles);
+    w.key("concurrency")
+        .value(std::uint64_t{report.arrival.concurrency});
+    w.key("think_cycles")
+        .value(std::uint64_t{report.arrival.thinkCycles});
+    w.key("seed").value(std::uint64_t{report.arrival.seed});
+    w.endObject();
+    w.key("configs").beginArray();
+    for (const std::string &name : report.configNames)
+        w.value(name);
+    w.endArray();
+    w.endObject();
+
+    w.key("results").beginArray();
+    for (const ServeCell &cell : report.cells) {
+        w.beginObject();
+        w.key("config").value(cell.config);
+        w.key("cycles").value(std::uint64_t{cell.cycles});
+        w.key("ipc").value(cell.ipc);
+        w.key("idle_cycles").value(std::uint64_t{cell.idleCycles});
+        w.key("events").value(std::uint64_t{cell.events});
+        w.key("latency").beginObject();
+        writeLatencyClass(w, "queue", cell.queue);
+        writeLatencyClass(w, "service", cell.service);
+        writeLatencyClass(w, "total", cell.total);
+        w.endObject();
+        w.key("histogram").beginObject();
+        w.key("scale").value("pow2_cycles");
+        w.key("buckets").beginArray();
+        for (const std::uint64_t count : cell.histogram)
+            w.value(std::uint64_t{count});
+        w.endArray();
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace espsim

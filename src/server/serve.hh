@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The serve driver: stream a request-serving profile through the
+ * simulator under an arrival discipline, once per config, and collect
+ * tail-latency reports.
+ *
+ * One ServeCell per config carries the architectural headlines plus
+ * the queue/service/total latency summaries and a power-of-two
+ * total-latency histogram. renderLatencyArtifactJson() writes the
+ * versioned `espsim-latency-artifact` (validated by
+ * tools/validate_artifact.py) — deterministic and free of wall-clock
+ * facts, like every other espsim artifact.
+ */
+
+#ifndef ESPSIM_SERVER_SERVE_HH
+#define ESPSIM_SERVER_SERVE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/artifact.hh"
+#include "server/arrival.hh"
+#include "server/latency.hh"
+#include "server/profile.hh"
+#include "sim/simulator.hh"
+
+namespace espsim
+{
+
+/** Knobs of one serve run (applied identically to every config). */
+struct ServeOptions
+{
+    /** Override profile.app.numEvents when non-zero. */
+    std::size_t events = 0;
+    /** Streaming window (resident trace budget per reader). */
+    std::size_t window = 16;
+    /** Latency reservoir capacity (0 = buffer every sample). */
+    std::size_t reservoirCapacity = 4096;
+    ArrivalConfig arrival;
+};
+
+/** Results of one (profile, config) serve run. */
+struct ServeCell
+{
+    std::string config;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+    Cycle idleCycles = 0;
+    std::uint64_t events = 0;
+    LatencySummary queue;
+    LatencySummary service;
+    LatencySummary total;
+    std::vector<std::uint64_t> histogram;
+};
+
+/** A full serve sweep over one profile. */
+struct ServeReport
+{
+    std::string profile;
+    std::string profileDescription;
+    std::size_t events = 0;
+    std::size_t window = 0;
+    std::size_t reservoirCapacity = 0;
+    ArrivalConfig arrival;
+    std::vector<std::string> configNames;
+    std::string configHash;
+    std::vector<ServeCell> cells;
+};
+
+/**
+ * Run @p profile under every config in @p configs (serially; each
+ * config replays the identical request stream and arrival schedule).
+ */
+ServeReport runServe(const ServerProfile &profile,
+                     const std::vector<SimConfig> &configs,
+                     const ServeOptions &opts);
+
+/** Render the versioned espsim-latency-artifact JSON. */
+std::string renderLatencyArtifactJson(const ArtifactManifest &manifest,
+                                      const ServeReport &report);
+
+} // namespace espsim
+
+#endif // ESPSIM_SERVER_SERVE_HH

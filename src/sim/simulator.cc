@@ -107,6 +107,9 @@ Simulator::run(const Workload &workload,
         core.setSampler(sampler.get());
     }
 
+    if (inst.pacer)
+        core.setPacer(inst.pacer);
+
     {
         WallClockSpan sim_span(profile ? &profile->simMs : nullptr);
         core.run(workload);

@@ -82,6 +82,9 @@ struct RunInstrumentation
     IntervalSeries *intervalSeries = nullptr;
     /** Receives warmup/sim/report wall-clock spans (nullptr = off). */
     HostCellProfile *hostProfile = nullptr;
+    /** Event arrival discipline + latency probe (nullptr = saturated
+     *  looper, the paper's setup). See cpu/pacer.hh. */
+    EventPacer *pacer = nullptr;
 };
 
 /** One-shot simulator: construct with a config, run workloads. */

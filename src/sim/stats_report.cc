@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "report/artifact.hh"
 #include "workload/generator.hh"
+#include "workload/streaming.hh"
 
 namespace espsim
 {
@@ -128,8 +129,16 @@ SuiteRunner::run(const std::vector<SimConfig> &configs,
                         WallClockSpan gen_span(prof ? &prof->genMs
                                                     : nullptr);
                         std::call_once(slot.once, [&] {
-                            slot.workload =
-                                SyntheticGenerator(apps_[a]).generate();
+                            if (streaming_) {
+                                slot.workload = std::make_shared<
+                                    StreamingWorkload>(
+                                    std::make_unique<GeneratorSource>(
+                                        apps_[a]));
+                            } else {
+                                slot.workload =
+                                    SyntheticGenerator(apps_[a])
+                                        .generate();
+                            }
                         });
                     }
                     std::shared_ptr<const Workload> workload =

@@ -107,6 +107,17 @@ class SuiteRunner
     void setProfiling(bool on) { profiling_ = on; }
     bool profiling() const { return profiling_; }
 
+    /**
+     * Replay each app through the streaming workload core (bounded
+     * sliding window, workload/streaming.hh) instead of materialising
+     * it up front. Stats are bit-identical either way — the
+     * `streaming-equivalence` fuzz oracle and the diff_streaming_golden
+     * ctest hold the two paths to byte-identical artifacts — but peak
+     * memory stays flat in the event count.
+     */
+    void setStreaming(bool on) { streaming_ = on; }
+    bool streaming() const { return streaming_; }
+
     /** Pool utilization of the most recent run() (profiling only). */
     const JobPoolUsage &lastPoolUsage() const { return lastUsage_; }
 
@@ -133,6 +144,7 @@ class SuiteRunner
     std::vector<AppProfile> apps_;
     unsigned jobs_ = 0; //!< 0 = JobPool::defaultJobs()
     bool profiling_ = false;
+    bool streaming_ = false;
     mutable JobPoolUsage lastUsage_;
 };
 

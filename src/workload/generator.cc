@@ -61,6 +61,9 @@ struct Walk
     Addr allocRegion = 0;
     Addr allocOff = 0;
     Addr lastDataBlock = 0; //!< previous memory-op block (reuse model)
+    Addr keyRegion = 0;     //!< value object of this request (server)
+    std::size_t keyBytes = 0;
+    double keyFrac = 0.0;
     std::uint8_t lastDest = noReg;
     unsigned opsSinceTerm = 0;
     std::unordered_map<Addr, unsigned> loopCounts;
@@ -340,6 +343,16 @@ class WalkEngine
         if (st.lastDataBlock != 0 && st.rng.chance(p_.dataRepeatFrac))
             return st.lastDataBlock + 8 * st.rng.below(8);
 
+        // Request-serving overlay (src/server): a slice of accesses
+        // lands on the looked-up key's value object in the KV heap.
+        // The keyFrac guard short-circuits before any rng draw, so
+        // unshaped (browser) events consume an identical rng stream
+        // whether or not this overlay exists.
+        if (st.keyFrac > 0.0 && st.rng.chance(st.keyFrac)) {
+            const Addr words = std::max<Addr>(st.keyBytes / 8, 1);
+            return st.keyRegion + 8 * st.rng.below(words);
+        }
+
         const double r = st.rng.real();
         double acc = p_.argFrac;
         if (r < acc)
@@ -536,6 +549,20 @@ class WalkEngine
 EventTrace
 SyntheticGenerator::generateEvent(std::uint64_t id) const
 {
+    return generateShaped(id, nullptr);
+}
+
+EventTrace
+SyntheticGenerator::generateEvent(std::uint64_t id,
+                                  const EventShape &shape) const
+{
+    return generateShaped(id, &shape);
+}
+
+EventTrace
+SyntheticGenerator::generateShaped(std::uint64_t id,
+                                   const EventShape *shape) const
+{
     const AppProfile &p = profile_;
     EventTrace trace;
     trace.id = id;
@@ -544,16 +571,29 @@ SyntheticGenerator::generateEvent(std::uint64_t id) const
     Walk st(mix(p.seed, id, 0xe7e47));
 
     st.eventId = id;
-    // Handler popularity: half the events come from a skewed head of
-    // popular handlers (timers, scroll), half are spread uniformly —
-    // consecutive events usually run *different* code, which is what
-    // destroys instruction locality in asynchronous programs (§2.1).
-    st.handler = static_cast<std::uint32_t>(
-        st.rng.chance(0.5) ? st.rng.skewed(p.numHandlerTypes)
-                           : st.rng.below(p.numHandlerTypes));
+    if (shape) {
+        if (shape->handler >= p.numHandlerTypes)
+            panic("event shape handler %u out of range %u",
+                  shape->handler, p.numHandlerTypes);
+        st.handler = shape->handler;
+        st.keyRegion = shape->keyRegion;
+        st.keyBytes = shape->keyBytes;
+        st.keyFrac = shape->keyFrac;
+    } else {
+        // Handler popularity: half the events come from a skewed head
+        // of popular handlers (timers, scroll), half are spread
+        // uniformly — consecutive events usually run *different* code,
+        // which is what destroys instruction locality in asynchronous
+        // programs (§2.1).
+        st.handler = static_cast<std::uint32_t>(
+            st.rng.chance(0.5) ? st.rng.skewed(p.numHandlerTypes)
+                               : st.rng.below(p.numHandlerTypes));
+    }
     st.eventPhase =
         static_cast<unsigned>(mix(id, st.handler, 0x9a5e) % 64);
-    st.targetLen = engine.drawLength(st.rng);
+    st.targetLen = shape && shape->targetLen
+        ? std::max<std::size_t>(shape->targetLen, p.minEventLen)
+        : engine.drawLength(st.rng);
     st.argObject = layout::argObjectBase + id * 4096;
     st.allocRegion = layout::allocBase +
         id * (2ULL * p.allocBlocksPerEvent * blockBytes);
@@ -587,6 +627,9 @@ SyntheticGenerator::generateEvent(std::uint64_t id) const
         bad.eventPhase = (st.eventPhase + 17) % 64;
         bad.argObject = st.argObject;
         bad.allocRegion = st.allocRegion;
+        bad.keyRegion = st.keyRegion;
+        bad.keyBytes = st.keyBytes;
+        bad.keyFrac = st.keyFrac;
         bad.pc = trace.ops[trace.divergencePoint].pc;
         const std::size_t remainder =
             trace.ops.size() - trace.divergencePoint;

@@ -44,9 +44,34 @@ constexpr Addr argObjectBase = 0x9000'0000;
 constexpr Addr allocBase = 0xa000'0000;
 /** Application shared heap. */
 constexpr Addr sharedHeapBase = 0xc000'0000;
+/** Key/value store heap (request-serving profiles, src/server). */
+constexpr Addr kvHeapBase = 0xd000'0000;
 /** Streaming / never-reused data. */
 constexpr Addr coldDataBase = 0x1'0000'0000;
 } // namespace layout
+
+/**
+ * External shaping of one generated event. Request-serving profiles
+ * (src/server) pick the handler (GET/SET/DEL op, HTTP route), the
+ * length class and the key's value object per request, then delegate
+ * the instruction-level walk to the synthetic generator. Unshaped
+ * generation is untouched: the browser profiles' random streams (and
+ * thus every committed golden artifact) are bit-identical with or
+ * without this struct existing.
+ */
+struct EventShape
+{
+    /** Handler type to run (must be < profile.numHandlerTypes). */
+    std::uint32_t handler = 0;
+    /** Target instruction count (0 = draw from the profile). */
+    std::size_t targetLen = 0;
+    /** Base of the value object this request touches (0 = none). */
+    Addr keyRegion = 0;
+    /** Size of the value object in bytes. */
+    std::size_t keyBytes = 0;
+    /** Fraction of memory ops redirected onto the value object. */
+    double keyFrac = 0.0;
+};
 
 /** Deterministic generator of an application's event stream. */
 class SyntheticGenerator
@@ -67,6 +92,14 @@ class SyntheticGenerator
     EventTrace generateEvent(std::uint64_t id) const;
 
     /**
+     * Generate one event with externally chosen handler / length /
+     * key-value footprint. Bit-identical for the same
+     * (profile.seed, id, shape) triple.
+     */
+    EventTrace generateEvent(std::uint64_t id,
+                             const EventShape &shape) const;
+
+    /**
      * The application's standing memory image: shared runtime code,
      * every handler's hot code regions, and the shared heap. Installed
      * as the workload's warm set (resident in the LLC at session
@@ -76,6 +109,9 @@ class SyntheticGenerator
 
   private:
     AppProfile profile_;
+
+    EventTrace generateShaped(std::uint64_t id,
+                              const EventShape *shape) const;
 };
 
 } // namespace espsim

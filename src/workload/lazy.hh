@@ -3,88 +3,36 @@
  * Memory-bounded lazy workload: events are generated on demand and a
  * small window is cached, instead of materialising the whole stream.
  *
- * The simulator only ever holds references to the current event and
- * the ESP queue's two lookahead events, so a window of a few traces
- * suffices — this is how multi-hundred-million-instruction runs stay
- * within memory. Honors the Workload contract that a reference stays
- * valid until event idx+3 is requested.
- *
- * Safe to share across concurrently replaying simulators (the parallel
- * sweep engine runs several configs against one workload at once): the
- * cache is guarded by a mutex, and each reader thread pins the traces
- * it was handed recently, so eviction driven by a thread far ahead can
- * never invalidate a reference a lagging thread still holds. The
- * reference-validity contract is per calling thread.
+ * Since the streaming core landed this is a thin adapter — the cache,
+ * per-reader pinning and eviction all live in StreamingWorkload; a
+ * LazyWorkload is simply a StreamingWorkload over a GeneratorSource
+ * (the synthetic browser-profile generator). The name survives because
+ * it is the established spelling for "a browser profile replayed in
+ * bounded memory" throughout the tests and docs.
  */
 
 #ifndef ESPSIM_WORKLOAD_LAZY_HH
 #define ESPSIM_WORKLOAD_LAZY_HH
 
-#include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <utility>
-#include <vector>
 
-#include "trace/workload.hh"
-#include "workload/generator.hh"
+#include "workload/streaming.hh"
 
 namespace espsim
 {
 
 /** Workload backed by on-demand generation with a bounded cache. */
-class LazyWorkload : public Workload
+class LazyWorkload : public StreamingWorkload
 {
   public:
     /** @p window traces are kept resident (>= 4 per the contract). */
-    explicit LazyWorkload(AppProfile profile, std::size_t window = 8);
-
-    const std::string &name() const override { return name_; }
-    std::size_t numEvents() const override { return numEvents_; }
-    const EventTrace &event(std::size_t idx) const override;
-    std::vector<AddrRange> warmSet() const override;
-
-    /** Traces currently materialised (tests / memory accounting). */
-    std::size_t residentTraces() const;
-    /** Total events generated over the lifetime (cache misses). */
-    std::uint64_t generations() const;
-
-  private:
-    SyntheticGenerator generator_;
-    std::string name_;
-    std::size_t numEvents_;
-    std::size_t window_;
-
-    /** One cached trace, keyed by event index. */
-    using Entry =
-        std::pair<std::size_t, std::shared_ptr<const EventTrace>>;
-
-    mutable std::mutex mutex_;
-    /** Sorted by event index; binary-searched. The window is small
-     *  (a handful of entries per reader), so a flat vector beats the
-     *  node-per-entry std::map it replaced. */
-    mutable std::vector<Entry> cache_;
-    /**
-     * Traces handed to each reader thread recently, keyed by event
-     * index (sorted). A pin keeps its trace alive (shared_ptr) even
-     * after cache eviction, and is released only once the thread
-     * requests an index window_ ahead — so returned references honour
-     * the validity contract no matter how many event() calls the
-     * thread makes in between (ESP re-requests its lookahead events on
-     * every stall episode).
-     */
-    struct PinWindow
+    explicit LazyWorkload(AppProfile profile, std::size_t window = 8)
+        : StreamingWorkload(
+              std::make_unique<GeneratorSource>(std::move(profile)),
+              window)
     {
-        std::thread::id tid;
-        std::vector<Entry> pins; //!< sorted by event index
-    };
-    mutable std::vector<PinWindow> pins_;
-    mutable std::uint64_t generations_ = 0;
-
-    /** Sorted-vector lower bound on the event-index key. */
-    static std::vector<Entry>::iterator
-    findAt(std::vector<Entry> &entries, std::size_t idx);
+    }
 };
 
 } // namespace espsim

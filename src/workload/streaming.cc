@@ -1,4 +1,4 @@
-#include "workload/lazy.hh"
+#include "workload/streaming.hh"
 
 #include <algorithm>
 
@@ -7,16 +7,17 @@
 namespace espsim
 {
 
-LazyWorkload::LazyWorkload(AppProfile profile, std::size_t window)
-    : generator_(std::move(profile)),
-      name_(generator_.profile().name),
-      numEvents_(generator_.profile().numEvents),
+StreamingWorkload::StreamingWorkload(
+    std::unique_ptr<const EventSource> source, std::size_t window)
+    : source_(std::move(source)),
+      name_(source_->name()),
+      numEvents_(source_->numEvents()),
       window_(std::max<std::size_t>(window, 4))
 {
 }
 
-std::vector<LazyWorkload::Entry>::iterator
-LazyWorkload::findAt(std::vector<Entry> &entries, std::size_t idx)
+std::vector<StreamingWorkload::Entry>::iterator
+StreamingWorkload::findAt(std::vector<Entry> &entries, std::size_t idx)
 {
     return std::lower_bound(
         entries.begin(), entries.end(), idx,
@@ -24,22 +25,32 @@ LazyWorkload::findAt(std::vector<Entry> &entries, std::size_t idx)
 }
 
 const EventTrace &
-LazyWorkload::event(std::size_t idx) const
+StreamingWorkload::event(std::size_t idx) const
 {
     if (idx >= numEvents_)
-        panic("lazy workload '%s': event %zu out of range %zu",
+        panic("streaming workload '%s': event %zu out of range %zu",
               name_.c_str(), idx, numEvents_);
 
     std::lock_guard<std::mutex> lock(mutex_);
 
     auto it = findAt(cache_, idx);
     if (it == cache_.end() || it->first != idx) {
-        it = cache_.insert(
-            it, {idx, std::make_shared<const EventTrace>(
-                          generator_.generateEvent(idx))});
+        std::shared_ptr<EventTrace> slot;
+        if (!freeList_.empty()) {
+            // Reuse a retired trace: move-assignment recycles its
+            // OpSequence arrays, so steady-state generation allocates
+            // only growth beyond the recycled capacity.
+            slot = std::move(freeList_.back());
+            freeList_.pop_back();
+            *slot = source_->makeEvent(idx);
+            ++recycled_;
+        } else {
+            slot = std::make_shared<EventTrace>(source_->makeEvent(idx));
+        }
+        it = cache_.insert(it, {idx, std::move(slot)});
         ++generations_;
     }
-    std::shared_ptr<const EventTrace> trace = it->second;
+    std::shared_ptr<EventTrace> trace = it->second;
 
     // Pin the trace in the calling thread's recent window so the
     // returned reference outlives cache eviction by other readers.
@@ -79,33 +90,43 @@ LazyWorkload::event(std::size_t idx) const
     for (std::size_t v = 0; cache_.size() > budget && v < cache_.size();) {
         if (cache_[v].first + window_ > idx + 1)
             break; // inside the caller's live window (and beyond)
-        if (cache_[v].second.use_count() > 1)
+        if (cache_[v].second.use_count() > 1) {
             ++v; // another reader still holds it pinned
-        else
+        } else {
+            if (freeList_.size() < window_)
+                freeList_.push_back(std::move(cache_[v].second));
             cache_.erase(cache_.begin() + v);
+        }
     }
 
     return *trace;
 }
 
 std::size_t
-LazyWorkload::residentTraces() const
+StreamingWorkload::residentTraces() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.size();
 }
 
 std::uint64_t
-LazyWorkload::generations() const
+StreamingWorkload::generations() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return generations_;
 }
 
-std::vector<AddrRange>
-LazyWorkload::warmSet() const
+std::uint64_t
+StreamingWorkload::recycled() const
 {
-    return generator_.warmSet();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recycled_;
+}
+
+std::vector<AddrRange>
+StreamingWorkload::warmSet() const
+{
+    return source_->warmSet();
 }
 
 } // namespace espsim

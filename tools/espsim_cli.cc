@@ -10,6 +10,10 @@
  *                [--json [path]]
  *   espsim suite --configs base,NL,ESP+NL [--jobs N] [--apps a,b]
  *                [--json [path]] [--csv [path]] [--profile]
+ *                [--streaming]
+ *   espsim serve --profile memcached --events 1000000
+ *                [--configs base,ESP+NL] [--arrival poisson]
+ *                [--json [path]]
  *   espsim bench [--out path] [--apps a,b] [--configs a,b]
  *                [--repeat N] [--events N]
  *   espsim gen   --app gmaps --out gmaps.espw [--events N]
@@ -57,6 +61,7 @@
 #include "report/host_profile.hh"
 #include "report/interval.hh"
 #include "report/timeline.hh"
+#include "server/serve.hh"
 #include "sim/stats_report.hh"
 #include "trace/trace_io.hh"
 #include "workload/generator.hh"
@@ -94,7 +99,13 @@ usage()
         "               [--timeline-limit N] [--sample-cycles N] "
         "[--sample-events K] [--json [path]]\n"
         "  espsim suite [--configs a,b,c] [--apps a,b] [--jobs N] "
-        "[--json [path]] [--csv [path]] [--profile]\n"
+        "[--json [path]] [--csv [path]] [--profile] [--streaming]\n"
+        "  espsim serve [--profile memcached|http|testsrv] "
+        "[--configs a,b] [--events N] [--window N]\n"
+        "               [--reservoir N] "
+        "[--arrival poisson|bursty|closed] [--gap CYCLES]\n"
+        "               [--concurrency N] [--think CYCLES] [--seed S] "
+        "[--json [path]]\n"
         "  espsim bench [--out <path>] [--apps a,b] [--configs a,b] "
         "[--repeat N] [--events N]\n"
         "  espsim gen   --app <name> --out <file> [--events N]\n"
@@ -362,6 +373,7 @@ cmdSuite(const std::map<std::string, std::string> &flags)
     }
     const bool profile = flags.count("profile") != 0;
     runner.setProfiling(profile);
+    runner.setStreaming(flags.count("streaming") != 0);
     auto rows = runner.run(configs, true);
     if (profile) {
         for (SuiteRow &row : rows) {
@@ -461,6 +473,119 @@ cmdSuite(const std::map<std::string, std::string> &flags)
     // Degraded sweeps exit non-zero so CI notices, even though every
     // healthy cell completed and the artifacts were still written.
     return suiteHasErrors(rows) ? 1 : 0;
+}
+
+/**
+ * `espsim serve` — server-scale tail-latency runs. Streams a
+ * request-serving profile (memcached-style KV or HTTP router) through
+ * every requested config under one arrival discipline, prints a
+ * tail-latency table, and writes the versioned espsim-latency-artifact
+ * (see docs/WORKLOADS.md). Peak RSS is logged to stderr so the
+ * serve_1m ctest can assert flat memory between 100k and 1M runs.
+ */
+int
+cmdServe(const std::map<std::string, std::string> &flags)
+{
+    const auto prof_it = flags.find("profile");
+    const std::string prof_name =
+        prof_it == flags.end() ? "memcached" : prof_it->second;
+    const ServerProfile profile = ServerProfile::byName(prof_name);
+
+    std::vector<std::string> names{"base", "ESP+NL"};
+    if (auto it = flags.find("configs"); it != flags.end()) {
+        names.clear();
+        std::stringstream ss(it->second);
+        std::string token;
+        while (std::getline(ss, token, ','))
+            names.push_back(token);
+    }
+    std::vector<SimConfig> configs;
+    for (const std::string &name : names) {
+        const auto cfg = lookupConfig(name);
+        if (!cfg)
+            return 1;
+        configs.push_back(*cfg);
+    }
+
+    ServeOptions opts;
+    if (auto it = flags.find("events"); it != flags.end())
+        opts.events = static_cast<std::size_t>(
+            parseUnsignedOption(it->second, "events"));
+    if (auto it = flags.find("window"); it != flags.end())
+        opts.window = static_cast<std::size_t>(
+            parseUnsignedOption(it->second, "window"));
+    if (auto it = flags.find("reservoir"); it != flags.end())
+        opts.reservoirCapacity = static_cast<std::size_t>(
+            parseUnsignedOption(it->second, "reservoir"));
+    if (auto it = flags.find("arrival"); it != flags.end()) {
+        if (!parseArrivalKind(it->second, opts.arrival.kind)) {
+            std::fprintf(stderr,
+                         "invalid value '%s' for --arrival (expected "
+                         "poisson|bursty|closed)\n",
+                         it->second.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (auto it = flags.find("gap"); it != flags.end())
+        opts.arrival.meanGapCycles =
+            parseDoubleOption(it->second, "gap");
+    if (auto it = flags.find("concurrency"); it != flags.end()) {
+        const unsigned long n =
+            parseUnsignedOption(it->second, "concurrency");
+        opts.arrival.concurrency =
+            n >= 1 ? static_cast<unsigned>(n) : 1;
+    }
+    if (auto it = flags.find("think"); it != flags.end())
+        opts.arrival.thinkCycles =
+            parseUnsignedOption(it->second, "think");
+    if (auto it = flags.find("seed"); it != flags.end())
+        opts.arrival.seed = parseUnsignedOption(it->second, "seed");
+
+    printRunManifest();
+    const ServeReport report = runServe(profile, configs, opts);
+    // Always on stderr (not just under --profile): the serve_1m RSS
+    // gate parses this line from two separate process runs.
+    logLine(LogLevel::Info, "# serve peak RSS %.1f MiB", peakRssMb());
+
+    TextTable table("serve tail latency (cycles, '" + report.profile +
+                    "', " + arrivalKindName(report.arrival.kind) +
+                    " arrivals)");
+    table.header({"config", "cycles", "idle", "p50", "p95", "p99",
+                  "p99.9", "max"});
+    for (const ServeCell &cell : report.cells) {
+        table.row({cell.config,
+                   TextTable::num(static_cast<double>(cell.cycles), 0),
+                   TextTable::num(static_cast<double>(cell.idleCycles),
+                                  0),
+                   TextTable::num(cell.total.p50, 0),
+                   TextTable::num(cell.total.p95, 0),
+                   TextTable::num(cell.total.p99, 0),
+                   TextTable::num(cell.total.p999, 0),
+                   TextTable::num(cell.total.max, 0)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    ArtifactManifest manifest;
+    manifest.source = "espsim serve";
+    auto artifactPath = [&flags](const char *key,
+                                 const char *def) -> std::string {
+        auto it = flags.find(key);
+        if (it == flags.end())
+            return "";
+        return it->second == "1" ? def : it->second;
+    };
+    if (const std::string path =
+            artifactPath("json", "espsim_latency.json");
+        !path.empty()) {
+        if (!writeTextFile(path, renderLatencyArtifactJson(manifest,
+                                                           report))) {
+            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            return 1;
+        }
+        logLine(LogLevel::Info, "# wrote %s", path.c_str());
+    }
+    return 0;
 }
 
 /**
@@ -716,6 +841,8 @@ main(int argc, char **argv)
         return cmdRun(flags);
     if (cmd == "suite")
         return cmdSuite(flags);
+    if (cmd == "serve")
+        return cmdServe(flags);
     if (cmd == "bench")
         return cmdBench(flags);
     if (cmd == "gen")

@@ -1,0 +1,49 @@
+# Flat-memory gate for the streaming serve path: run the memcached
+# profile at 100k and at 1M events in two separate processes and
+# compare the "# serve peak RSS" figures each prints to stderr. The
+# streaming window bounds resident traces and the latency reservoirs
+# bound sample memory, so the 10x-longer run must not grow peak RSS
+# beyond tolerance (10% + a fixed 4 MiB allowance for small-number
+# noise). Invoked as:
+#   cmake -DESPSIM_CLI=<path> -DWORK_DIR=<dir> -P this-file
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_serve events out_var)
+    execute_process(
+        COMMAND ${ESPSIM_CLI} serve --profile memcached
+            --configs base --events ${events}
+            --json ${WORK_DIR}/serve_rss_${events}.json
+        RESULT_VARIABLE rc
+        ERROR_VARIABLE err
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "espsim serve --events ${events} failed (${rc}): ${err}")
+    endif()
+    string(REGEX MATCH "# serve peak RSS ([0-9.]+) MiB" _ "${err}")
+    if(NOT CMAKE_MATCH_1)
+        message(FATAL_ERROR
+            "no peak-RSS line in serve stderr for ${events} events")
+    endif()
+    # Integer KiB so CMake's integer comparisons apply.
+    math(EXPR kib "0")
+    string(REGEX REPLACE "\\..*" "" whole "${CMAKE_MATCH_1}")
+    math(EXPR kib "${whole} * 1024")
+    set(${out_var} ${kib} PARENT_SCOPE)
+endfunction()
+
+run_serve(100000 small_kib)
+run_serve(1000000 large_kib)
+
+message(STATUS
+    "serve peak RSS: 100k events ${small_kib} KiB, "
+    "1M events ${large_kib} KiB")
+
+# large <= small * 1.10 + 4 MiB, in integer KiB.
+math(EXPR bound "${small_kib} + ${small_kib} / 10 + 4096")
+if(large_kib GREATER bound)
+    message(FATAL_ERROR
+        "streaming serve is not flat-memory: 1M-event peak RSS "
+        "${large_kib} KiB exceeds 100k-event bound ${bound} KiB")
+endif()

@@ -26,6 +26,7 @@ SUITE_SCHEMA = "espsim-suite-artifact"
 TABLE_SCHEMA = "espsim-table-artifact"
 INTERVAL_SCHEMA = "espsim-interval-series"
 BENCH_SCHEMA = "espsim-bench-artifact"
+LATENCY_SCHEMA = "espsim-latency-artifact"
 SUPPORTED_FORMAT_VERSIONS = {1}
 
 
@@ -273,6 +274,101 @@ def validate_bench(doc, problems):
     return problems
 
 
+def _check_latency_summary(summary, where, problems):
+    if not isinstance(summary, dict):
+        _fail(problems, f"{where} is not an object")
+        return None
+    count = summary.get("count")
+    if not isinstance(count, int) or count < 0:
+        _fail(problems, f"{where}.count is not a non-negative integer")
+    for key in ("mean", "max", "p50", "p95", "p99", "p999"):
+        value = summary.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            _fail(problems,
+                  f"{where}.{key} is not a non-negative number")
+            return None
+    # Quantiles of one sample set are necessarily monotone; a
+    # violation means the reservoir or summariser is broken.
+    chain = ("p50", "p95", "p99", "p999", "max")
+    for lo, hi in zip(chain, chain[1:]):
+        if summary[lo] > summary[hi]:
+            _fail(problems, f"{where}.{lo} > {where}.{hi}")
+    return summary
+
+
+def validate_latency(doc, problems):
+    """`espsim serve` tail-latency artifact."""
+    _check_manifest(doc, problems, want_hash=True)
+    manifest = doc.get("manifest", {})
+    if not isinstance(manifest.get("profile"), str) \
+            or not manifest.get("profile"):
+        _fail(problems, "manifest.profile missing or empty")
+    for key in ("events", "window", "reservoir_capacity"):
+        value = manifest.get(key)
+        if not isinstance(value, int) or value < 0:
+            _fail(problems,
+                  f"manifest.{key} is not a non-negative integer")
+    configs = manifest.get("configs")
+    if not isinstance(configs, list) or not configs:
+        _fail(problems, "manifest.configs missing or empty")
+    arrival = manifest.get("arrival")
+    if not isinstance(arrival, dict):
+        _fail(problems, "manifest.arrival missing or not an object")
+    elif arrival.get("kind") not in ("poisson", "bursty", "closed"):
+        _fail(problems, "manifest.arrival.kind is not a known "
+                        "discipline")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return _fail(problems, "results missing or empty")
+    if isinstance(configs, list) and len(results) != len(configs):
+        _fail(problems, "results length != manifest.configs length")
+    for i, entry in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(entry, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        if (isinstance(configs, list)
+                and entry.get("config") not in configs):
+            _fail(problems,
+                  f"{where}.config not listed in manifest.configs")
+        for key in ("cycles", "idle_cycles", "events"):
+            value = entry.get(key)
+            if not isinstance(value, int) or value < 0:
+                _fail(problems,
+                      f"{where}.{key} is not a non-negative integer")
+        ipc = entry.get("ipc")
+        if not isinstance(ipc, (int, float)) or ipc < 0:
+            _fail(problems, f"{where}.ipc is not a non-negative number")
+        latency = entry.get("latency")
+        if not isinstance(latency, dict):
+            _fail(problems, f"{where}.latency missing")
+            continue
+        total = None
+        for klass in ("queue", "service", "total"):
+            summary = _check_latency_summary(
+                latency.get(klass), f"{where}.latency.{klass}",
+                problems)
+            if klass == "total":
+                total = summary
+        histogram = entry.get("histogram")
+        if not isinstance(histogram, dict):
+            _fail(problems, f"{where}.histogram missing")
+            continue
+        if histogram.get("scale") != "pow2_cycles":
+            _fail(problems, f"{where}.histogram.scale != 'pow2_cycles'")
+        buckets = histogram.get("buckets")
+        if (not isinstance(buckets, list)
+                or not all(isinstance(b, int) and b >= 0
+                           for b in buckets)):
+            _fail(problems, f"{where}.histogram.buckets not a list of "
+                            "non-negative integers")
+        elif total is not None and isinstance(total.get("count"), int) \
+                and sum(buckets) != total["count"]:
+            _fail(problems, f"{where}.histogram buckets sum != "
+                            "latency.total.count")
+    return problems
+
+
 def validate_timeline(doc, problems):
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -335,6 +431,7 @@ def validate(path):
         TABLE_SCHEMA: validate_table,
         INTERVAL_SCHEMA: validate_interval_series,
         BENCH_SCHEMA: validate_bench,
+        LATENCY_SCHEMA: validate_latency,
     }
     if schema not in handlers:
         return _fail(problems, f"unknown schema {schema!r}")
