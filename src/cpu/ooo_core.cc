@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "cpu/pacer.hh"
 #include "report/interval.hh"
+#include "report/spans.hh"
 
 namespace espsim
 {
@@ -369,10 +370,21 @@ OoOCore::executeLooperOverhead()
 void
 OoOCore::run(const Workload &workload)
 {
+    std::array<PrefetchSourceStats, numPrefetchSources> pf_life_start{};
     for (std::size_t idx = 0; idx < workload.numEvents(); ++idx) {
         const CycleBucketArray buckets_at_start = stats_.bucketCycles;
         const PrefetchIssueCounts pf_at_start =
             mem_.prefetchIssuedBySource();
+        // Span window opens before any idle charge: the span's bucket
+        // deltas cover every cycle the clock advances until retire,
+        // so Σ span buckets == retire - span_start by construction.
+        const Cycle span_start = fetchCycle_;
+        if (spanSink_) {
+            for (unsigned s = 0; s < numPrefetchSources; ++s) {
+                pf_life_start[s] = mem_.prefetchLifecycle(
+                    static_cast<PrefetchSource>(s));
+            }
+        }
         Cycle queued_at = fetchCycle_;
         if (pacer_) {
             queued_at = pacer_->eventArrival(idx, fetchCycle_);
@@ -391,12 +403,15 @@ OoOCore::run(const Workload &workload)
         // list prefetcher gets its ~70-instruction head start (§3.6).
         hooks_.onEventStart(idx, fetchCycle_);
         executeLooperOverhead();
+        const Cycle dispatched_at = fetchCycle_;
         if (timeline_)
-            timeline_->eventDispatched(idx, fetchCycle_);
+            timeline_->eventDispatched(idx, dispatched_at);
         if (pacer_)
-            pacer_->eventDispatched(idx, fetchCycle_);
+            pacer_->eventDispatched(idx, dispatched_at);
         const InstCount instr_at_dispatch = stats_.instructions;
         const EventTrace &event = workload.event(idx);
+        if (pacer_)
+            pacer_->eventHandlerType(idx, event.handlerType);
         curFetchBlock_ = ~Addr{0};
         // Assemble ops by value from the SoA lanes; skip the per-op
         // virtual hook when the engine declared itself passive for
@@ -453,6 +468,27 @@ OoOCore::run(const Workload &workload)
                     pf_now[s] - pf_at_start[s]);
             }
             timeline_->eventPrefetchTallies(idx, std::move(pf_args));
+        }
+        if (spanSink_) {
+            RequestSpan span;
+            span.index = idx;
+            span.handlerType = event.handlerType;
+            span.startCycle = span_start;
+            span.arrival = queued_at;
+            span.dispatch = dispatched_at;
+            span.retire = fetchCycle_;
+            span.instructions = stats_.instructions - instr_at_dispatch;
+            span.buckets = delta;
+            for (unsigned s = 0; s < numPrefetchSources; ++s) {
+                const PrefetchSourceStats end = mem_.prefetchLifecycle(
+                    static_cast<PrefetchSource>(s));
+                span.prefetch[s] = SpanPrefetchDelta{
+                    end.issued - pf_life_start[s].issued,
+                    end.timely - pf_life_start[s].timely,
+                    end.late - pf_life_start[s].late,
+                    end.harmful - pf_life_start[s].harmful};
+            }
+            spanSink_->onSpan(span);
         }
         if (pacer_)
             pacer_->eventRetired(idx, fetchCycle_);

@@ -41,6 +41,7 @@ namespace espsim
 
 class IntervalSampler;
 class EventPacer;
+class SpanSink;
 
 /** Core pipeline parameters (defaults = paper Figure 7). */
 struct CoreConfig
@@ -264,6 +265,16 @@ class OoOCore
      */
     void setPacer(EventPacer *pacer) { pacer_ = pacer; }
 
+    /**
+     * Attach an opt-in per-request span sink (nullptr detaches): each
+     * retired event delivers one RequestSpan carrying its cycle-bucket
+     * deltas and per-source prefetch lifecycle deltas, closing exactly
+     * against the accounting invariant (Σ span buckets == the cycles
+     * the clock advanced while the span was current). See
+     * report/spans.hh.
+     */
+    void setSpanSink(SpanSink *sink) { spanSink_ = sink; }
+
     /** Current-fetch-cycle accessor for hooks/tests. */
     Cycle now() const { return fetchCycle_; }
 
@@ -289,6 +300,7 @@ class OoOCore
     EventTimeline *timeline_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
     EventPacer *pacer_ = nullptr;
+    SpanSink *spanSink_ = nullptr;
 
     // Pipeline state.
     Cycle fetchCycle_ = 0;

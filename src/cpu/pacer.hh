@@ -19,11 +19,15 @@
 #define ESPSIM_CPU_PACER_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 
 namespace espsim
 {
+
+class StatRegistry;
 
 /** Arrival discipline + latency probe for the core's event loop. */
 class EventPacer
@@ -52,6 +56,30 @@ class EventPacer
     {
         (void)idx;
         (void)now;
+    }
+
+    /**
+     * The core resolved event @p idx's static handler id (called
+     * between eventDispatched and eventRetired). Lets a pacer keep
+     * per-handler latency breakdowns without knowing the trace format.
+     */
+    virtual void eventHandlerType(std::size_t idx,
+                                  std::uint32_t handler_type)
+    {
+        (void)idx;
+        (void)handler_type;
+    }
+
+    /**
+     * Register pacer-owned stats (per-handler latency quantiles etc.)
+     * under @p prefix. The simulator calls this after the run, right
+     * before the registry snapshot.
+     */
+    virtual void registerStats(StatRegistry &reg,
+                               const std::string &prefix) const
+    {
+        (void)reg;
+        (void)prefix;
     }
 };
 

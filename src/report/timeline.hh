@@ -123,6 +123,13 @@ class EventTimeline
                     const std::string &workload_name);
 
     /**
+     * Label the trace's provenance in otherData.trace_kind (e.g.
+     * "flight-recorder" for anomaly dumps); empty = omitted, which is
+     * what live full-run timelines write.
+     */
+    void setTraceKind(const std::string &kind) { traceKind_ = kind; }
+
+    /**
      * Record at most @p max_events events (0 = unlimited). Events
      * beyond the cap are dropped and counted; finalizing the trace
      * warns on stderr when anything was dropped.
@@ -211,6 +218,7 @@ class EventTimeline
     std::vector<CounterSample> counters_;
     std::string configName_;
     std::string workloadName_;
+    std::string traceKind_;
     std::size_t curEvent_ = 0;
     std::size_t eventLimit_ = 0;
     std::size_t droppedEvents_ = 0;

@@ -1,8 +1,11 @@
 #include "server/latency.hh"
 
+#include <algorithm>
 #include <bit>
+#include <string>
 
 #include "common/logging.hh"
+#include "report/stat_registry.hh"
 
 namespace espsim
 {
@@ -23,7 +26,7 @@ summarizeLatency(const SampleStat &s)
 
 ServePacer::ServePacer(std::unique_ptr<ArrivalProcess> arrival,
                        std::size_t reservoirCapacity,
-                       std::uint64_t seed)
+                       std::uint64_t seed, std::size_t numHandlers)
     : arrival_(std::move(arrival))
 {
     if (!arrival_)
@@ -34,6 +37,20 @@ ServePacer::ServePacer(std::unique_ptr<ArrivalProcess> arrival,
         queue_.enableReservoir(reservoirCapacity, seed ^ 0x71);
         service_.enableReservoir(reservoirCapacity, seed ^ 0x5e);
         total_.enableReservoir(reservoirCapacity, seed ^ 0x70);
+    }
+    // Per-handler breakdowns: a smaller reservoir per handler (each
+    // handler sees only a slice of the stream) keeps the table's
+    // memory bounded for many-route profiles.
+    handlers_.resize(numHandlers);
+    if (reservoirCapacity > 0) {
+        const std::size_t per_handler =
+            std::min<std::size_t>(reservoirCapacity, 1024);
+        for (std::size_t h = 0; h < handlers_.size(); ++h) {
+            handlers_[h].queue.enableReservoir(
+                per_handler, seed ^ (0x9100 + 2 * h));
+            handlers_[h].service.enableReservoir(
+                per_handler, seed ^ (0x9101 + 2 * h));
+        }
     }
 }
 
@@ -73,7 +90,56 @@ ServePacer::eventRetired(std::size_t idx, Cycle now)
               latencyHistBuckets - 1);
     ++hist_[bucket];
     ++events_;
+    if (curHandler_ < handlers_.size()) {
+        HandlerLatency &h = handlers_[curHandler_];
+        ++h.events;
+        h.queue.record(static_cast<double>(queue_cycles));
+        h.service.record(static_cast<double>(service_cycles));
+    }
     arrival_->onEventRetired(idx, now);
+}
+
+void
+ServePacer::eventHandlerType(std::size_t idx,
+                             std::uint32_t handler_type)
+{
+    (void)idx;
+    curHandler_ = handler_type;
+}
+
+void
+ServePacer::registerStats(StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    for (std::size_t h = 0; h < handlers_.size(); ++h) {
+        const HandlerLatency &hl = handlers_[h];
+        if (hl.events == 0)
+            continue;
+        const std::string base =
+            prefix + "handler." + std::to_string(h) + ".";
+        // Values are captured now (the run is over; the registry
+        // snapshot follows immediately), so the registered getters
+        // never dangle into this pacer.
+        reg.registerDerived(base + "events", [v = hl.events] {
+            return static_cast<double>(v);
+        });
+        reg.registerDerived(base + "queue.p50",
+                            [v = hl.queue.percentile(50.0)] {
+                                return v;
+                            });
+        reg.registerDerived(base + "queue.p99",
+                            [v = hl.queue.percentile(99.0)] {
+                                return v;
+                            });
+        reg.registerDerived(base + "service.p50",
+                            [v = hl.service.percentile(50.0)] {
+                                return v;
+                            });
+        reg.registerDerived(base + "service.p99",
+                            [v = hl.service.percentile(99.0)] {
+                                return v;
+                            });
+    }
 }
 
 } // namespace espsim

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/histogram.hh"
 #include "cpu/pacer.hh"
@@ -45,6 +46,14 @@ LatencySummary summarizeLatency(const SampleStat &s);
 /** Power-of-two histogram buckets: bucket i holds [2^i, 2^(i+1)). */
 constexpr std::size_t latencyHistBuckets = 40;
 
+/** Queue/service latency of one event-handler type. */
+struct HandlerLatency
+{
+    std::uint64_t events = 0;
+    SampleStat queue;
+    SampleStat service;
+};
+
 /** EventPacer that drives an ArrivalProcess and records latency. */
 class ServePacer final : public EventPacer
 {
@@ -52,15 +61,31 @@ class ServePacer final : public EventPacer
     /**
      * @p reservoirCapacity bounds each latency class's sample memory
      * (0 = keep every sample); @p seed drives reservoir replacement.
+     * @p numHandlers preallocates per-handler breakdown slots (0 =
+     * aggregate classes only); slots are fixed up front so the
+     * per-event recording path never allocates.
      */
     ServePacer(std::unique_ptr<ArrivalProcess> arrival,
-               std::size_t reservoirCapacity, std::uint64_t seed);
+               std::size_t reservoirCapacity, std::uint64_t seed,
+               std::size_t numHandlers = 0);
 
     Cycle eventArrival(std::size_t idx, Cycle now) override;
     void eventDispatched(std::size_t idx, Cycle now) override;
     void eventRetired(std::size_t idx, Cycle now) override;
+    void eventHandlerType(std::size_t idx,
+                          std::uint32_t handler_type) override;
+
+    /** Register `<prefix>handler.<id>.{events,queue,service}.*`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const override;
 
     const ArrivalProcess &arrival() const { return *arrival_; }
+
+    /** Per-handler breakdowns, indexed by handler type. */
+    const std::vector<HandlerLatency> &handlers() const
+    {
+        return handlers_;
+    }
 
     const SampleStat &queueLatency() const { return queue_; }
     const SampleStat &serviceLatency() const { return service_; }
@@ -76,9 +101,11 @@ class ServePacer final : public EventPacer
     std::unique_ptr<ArrivalProcess> arrival_;
     Cycle curArrival_ = 0;
     Cycle curDispatch_ = 0;
+    std::uint32_t curHandler_ = 0;
     SampleStat queue_;
     SampleStat service_;
     SampleStat total_;
+    std::vector<HandlerLatency> handlers_;
     std::array<std::uint64_t, latencyHistBuckets> hist_{};
     std::uint64_t events_ = 0;
 };

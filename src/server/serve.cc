@@ -3,14 +3,74 @@
 #include <memory>
 #include <utility>
 
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "common/version.hh"
 #include "cpu/ooo_core.hh"
+#include "report/flight_recorder.hh"
 #include "report/json_writer.hh"
 #include "workload/streaming.hh"
 
 namespace espsim
 {
+
+namespace
+{
+
+/**
+ * EventSource decorator that amplifies one event's op stream by an
+ * integer factor: a deterministic, injectable service-time spike for
+ * exercising the tail-anomaly detector end to end. Every other event
+ * passes through bit-identically, so the surrounding latency
+ * distribution is untouched.
+ */
+class SpikedSource final : public EventSource
+{
+  public:
+    SpikedSource(std::unique_ptr<const EventSource> inner,
+                 std::uint64_t spikeEvent, unsigned scale)
+        : inner_(std::move(inner)), spikeEvent_(spikeEvent),
+          scale_(scale < 2 ? 2 : scale)
+    {
+    }
+
+    const std::string &name() const override { return inner_->name(); }
+    std::size_t numEvents() const override
+    {
+        return inner_->numEvents();
+    }
+    std::vector<AddrRange> warmSet() const override
+    {
+        return inner_->warmSet();
+    }
+
+    EventTrace
+    makeEvent(std::uint64_t id) const override
+    {
+        EventTrace trace = inner_->makeEvent(id);
+        if (id != spikeEvent_)
+            return trace;
+        OpSequence amplified;
+        amplified.reserve(trace.ops.size() * scale_);
+        for (unsigned r = 0; r < scale_; ++r) {
+            for (std::size_t i = 0; i < trace.ops.size(); ++i)
+                amplified.push_back(trace.ops[i]);
+        }
+        trace.ops = std::move(amplified);
+        // The replicated stream invalidates any recorded divergence
+        // index; treat the spiked event as independent.
+        trace.divergencePoint = noDivergence;
+        trace.divergedTail.clear();
+        return trace;
+    }
+
+  private:
+    std::unique_ptr<const EventSource> inner_;
+    std::uint64_t spikeEvent_;
+    unsigned scale_;
+};
+
+} // namespace
 
 ServeReport
 runServe(const ServerProfile &profile,
@@ -31,6 +91,7 @@ runServe(const ServerProfile &profile,
     report.window = opts.window;
     report.reservoirCapacity = opts.reservoirCapacity;
     report.arrival = opts.arrival;
+    report.spans = opts.spans;
     report.configHash = configsHash(configs);
     for (const SimConfig &c : configs)
         report.configNames.push_back(c.name);
@@ -39,12 +100,55 @@ runServe(const ServerProfile &profile,
         // A fresh streaming workload per config: each replay starts at
         // event 0 with an empty pin window, so resident-trace bounds
         // (and thus peak RSS) don't accumulate across configs.
-        StreamingWorkload workload(
-            std::make_unique<ServerTraceSource>(p), opts.window);
+        std::unique_ptr<const EventSource> source =
+            std::make_unique<ServerTraceSource>(p);
+        if (opts.spans.spikeEvent != noSpikeEvent) {
+            source = std::make_unique<SpikedSource>(
+                std::move(source), opts.spans.spikeEvent,
+                opts.spans.spikeScale);
+        }
+        StreamingWorkload workload(std::move(source), opts.window);
         ServePacer pacer(makeArrivalProcess(opts.arrival),
-                         opts.reservoirCapacity, opts.arrival.seed);
+                         opts.reservoirCapacity, opts.arrival.seed,
+                         p.app.numHandlerTypes);
         RunInstrumentation inst;
         inst.pacer = &pacer;
+
+        std::unique_ptr<SpanCollector> spans;
+        std::string dump_path;
+        if (opts.spans.enabled) {
+            SpanCollectorConfig scfg;
+            scfg.ringCapacity = opts.spans.flightRecorder;
+            scfg.worstK = opts.spans.worstK;
+            scfg.anomalyThreshold = opts.spans.anomalyThreshold;
+            scfg.anomalyMinSamples = opts.spans.anomalyMinSamples;
+            spans = std::make_unique<SpanCollector>(scfg);
+            if (!opts.spans.dumpPrefix.empty()) {
+                dump_path = opts.spans.dumpPrefix + "." + config.name +
+                    ".trace.json";
+                spans->setAnomalyCallback(
+                    [&dump_path, &config, &p](
+                        const SpanCollector &collector,
+                        const RequestSpan &trigger) {
+                        if (!writeFlightRecorderTrace(collector,
+                                                      config.name,
+                                                      p.name,
+                                                      dump_path)) {
+                            logLine(LogLevel::Error,
+                                    "cannot write flight-recorder "
+                                    "dump '%s'",
+                                    dump_path.c_str());
+                            return;
+                        }
+                        logLine(LogLevel::Info,
+                                "# flight recorder: event %zu tripped "
+                                "the tail detector; wrote %s",
+                                trigger.index, dump_path.c_str());
+                    });
+            }
+            inst.spans = spans.get();
+        }
+
         const SimResult r = Simulator(config).run(workload, inst);
 
         ServeCell cell;
@@ -59,6 +163,28 @@ runServe(const ServerProfile &profile,
         cell.total = summarizeLatency(pacer.totalLatency());
         cell.histogram.assign(pacer.histogram().begin(),
                               pacer.histogram().end());
+        for (std::size_t h = 0; h < pacer.handlers().size(); ++h) {
+            const HandlerLatency &hl = pacer.handlers()[h];
+            if (hl.events == 0)
+                continue;
+            HandlerLatencyRow row;
+            row.handler = static_cast<std::uint32_t>(h);
+            row.events = hl.events;
+            row.queue = summarizeLatency(hl.queue);
+            row.service = summarizeLatency(hl.service);
+            cell.handlers.push_back(row);
+        }
+        if (spans) {
+            cell.spansRecorded = spans->spansRecorded();
+            cell.runningP99 = spans->runningP99();
+            cell.worstSpans = spans->worstSpans();
+            cell.anomalies = spans->anomalies();
+            cell.anomalyOverflow = spans->anomalyOverflow();
+            cell.dumpTriggered = spans->dumpTriggered();
+            cell.dumpEvent = spans->dumpEvent();
+            if (cell.dumpTriggered && !dump_path.empty())
+                cell.dumpPath = dump_path;
+        }
         report.cells.push_back(std::move(cell));
     }
     return report;
@@ -82,18 +208,25 @@ writeLatencyClass(JsonWriter &w, const char *name,
     w.endObject();
 }
 
-} // namespace
-
-std::string
-renderLatencyArtifactJson(const ArtifactManifest &manifest,
-                          const ServeReport &report)
+void
+writeHandlerRows(JsonWriter &w, const ServeCell &cell)
 {
-    JsonWriter w;
-    w.beginObject();
-    w.key("schema").value("espsim-latency-artifact");
-    w.key("format_version").value(std::uint64_t{artifactFormatVersion});
+    w.key("handlers").beginArray();
+    for (const HandlerLatencyRow &row : cell.handlers) {
+        w.beginObject();
+        w.key("handler").value(std::uint64_t{row.handler});
+        w.key("events").value(std::uint64_t{row.events});
+        writeLatencyClass(w, "queue", row.queue);
+        writeLatencyClass(w, "service", row.service);
+        w.endObject();
+    }
+    w.endArray();
+}
 
-    w.key("manifest").beginObject();
+void
+writeManifestCommon(JsonWriter &w, const ArtifactManifest &manifest,
+                    const ServeReport &report)
+{
     w.key("source").value(manifest.source);
     w.key("tool_version")
         .value(manifest.toolVersion.empty() ? versionString()
@@ -124,6 +257,60 @@ renderLatencyArtifactJson(const ArtifactManifest &manifest,
     for (const std::string &name : report.configNames)
         w.value(name);
     w.endArray();
+}
+
+void
+writeSpanRecord(JsonWriter &w, const RequestSpan &span)
+{
+    w.beginObject();
+    w.key("event").value(std::uint64_t{span.index});
+    w.key("handler").value(std::uint64_t{span.handlerType});
+    w.key("arrival").value(std::uint64_t{span.arrival});
+    w.key("dispatch").value(std::uint64_t{span.dispatch});
+    w.key("retire").value(std::uint64_t{span.retire});
+    w.key("queue_cycles").value(std::uint64_t{span.queueCycles()});
+    w.key("service_cycles").value(std::uint64_t{span.serviceCycles()});
+    w.key("total_cycles").value(std::uint64_t{span.totalCycles()});
+    w.key("span_cycles").value(std::uint64_t{span.spanCycles()});
+    w.key("instructions").value(std::uint64_t{span.instructions});
+    w.key("buckets").beginObject();
+    for (unsigned b = 0; b < numCycleBuckets; ++b) {
+        w.key(cycleBucketName(static_cast<CycleBucket>(b)))
+            .value(std::uint64_t{span.buckets[b]});
+    }
+    w.endObject();
+    w.key("esp").beginObject();
+    w.key("pre_exec_cycles")
+        .value(std::uint64_t{span.espPreExecCycles()});
+    w.key("prefetch").beginObject();
+    for (unsigned s = 0; s < numPrefetchSources; ++s) {
+        const SpanPrefetchDelta &d = span.prefetch[s];
+        w.key(prefetchSourceName(static_cast<PrefetchSource>(s)))
+            .beginObject();
+        w.key("issued").value(std::uint64_t{d.issued});
+        w.key("timely").value(std::uint64_t{d.timely});
+        w.key("late").value(std::uint64_t{d.late});
+        w.key("harmful").value(std::uint64_t{d.harmful});
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+renderLatencyArtifactJson(const ArtifactManifest &manifest,
+                          const ServeReport &report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("espsim-latency-artifact");
+    w.key("format_version").value(std::uint64_t{artifactFormatVersion});
+
+    w.key("manifest").beginObject();
+    writeManifestCommon(w, manifest, report);
     w.endObject();
 
     w.key("results").beginArray();
@@ -139,6 +326,7 @@ renderLatencyArtifactJson(const ArtifactManifest &manifest,
         writeLatencyClass(w, "service", cell.service);
         writeLatencyClass(w, "total", cell.total);
         w.endObject();
+        writeHandlerRows(w, cell);
         w.key("histogram").beginObject();
         w.key("scale").value("pow2_cycles");
         w.key("buckets").beginArray();
@@ -146,6 +334,70 @@ renderLatencyArtifactJson(const ArtifactManifest &manifest,
             w.value(std::uint64_t{count});
         w.endArray();
         w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+renderSpanArtifactJson(const ArtifactManifest &manifest,
+                       const ServeReport &report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("espsim-span-artifact");
+    w.key("format_version").value(std::uint64_t{artifactFormatVersion});
+
+    w.key("manifest").beginObject();
+    writeManifestCommon(w, manifest, report);
+    w.key("flight_recorder")
+        .value(std::uint64_t{report.spans.flightRecorder});
+    w.key("worst_k").value(std::uint64_t{report.spans.worstK});
+    w.key("anomaly_threshold").value(report.spans.anomalyThreshold);
+    w.key("anomaly_min_samples")
+        .value(std::uint64_t{report.spans.anomalyMinSamples});
+    if (report.spans.spikeEvent != noSpikeEvent) {
+        w.key("spike_event")
+            .value(std::uint64_t{report.spans.spikeEvent});
+        w.key("spike_scale")
+            .value(std::uint64_t{report.spans.spikeScale});
+    }
+    w.endObject();
+
+    w.key("results").beginArray();
+    for (const ServeCell &cell : report.cells) {
+        w.beginObject();
+        w.key("config").value(cell.config);
+        w.key("cycles").value(std::uint64_t{cell.cycles});
+        w.key("events").value(std::uint64_t{cell.events});
+        w.key("spans_recorded")
+            .value(std::uint64_t{cell.spansRecorded});
+        w.key("running_p99").value(cell.runningP99);
+        w.key("dump").beginObject();
+        w.key("triggered").value(cell.dumpTriggered);
+        if (cell.dumpTriggered) {
+            w.key("event").value(std::uint64_t{cell.dumpEvent});
+            if (!cell.dumpPath.empty())
+                w.key("path").value(cell.dumpPath);
+        }
+        w.endObject();
+        w.key("worst").beginArray();
+        for (const RequestSpan &span : cell.worstSpans)
+            writeSpanRecord(w, span);
+        w.endArray();
+        w.key("anomalies").beginArray();
+        for (const AnomalyRecord &record : cell.anomalies) {
+            w.beginObject();
+            w.key("running_p99").value(record.runningP99);
+            w.key("span");
+            writeSpanRecord(w, record.span);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("anomaly_overflow")
+            .value(std::uint64_t{cell.anomalyOverflow});
         w.endObject();
     }
     w.endArray();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "report/artifact.hh"
+#include "report/spans.hh"
 #include "server/arrival.hh"
 #include "server/latency.hh"
 #include "server/profile.hh"
@@ -27,6 +28,34 @@
 
 namespace espsim
 {
+
+/** Sentinel: no latency spike injected. */
+constexpr std::uint64_t noSpikeEvent = ~std::uint64_t{0};
+
+/** Span-tracing knobs of one serve run (see report/spans.hh). */
+struct ServeSpanOptions
+{
+    bool enabled = false;
+    /** Flight-recorder ring capacity (spans). */
+    std::size_t flightRecorder = 256;
+    /** Worst-request table size in the span artifact. */
+    std::size_t worstK = 8;
+    /** Anomaly: total latency > threshold x running p99. */
+    double anomalyThreshold = 8.0;
+    /** Detector warmup (spans before triggers are armed). */
+    std::uint64_t anomalyMinSamples = 64;
+    /**
+     * Flight-recorder dump path prefix; the first anomaly per config
+     * writes `<prefix>.<config>.trace.json`. Empty = no dump files
+     * (the detector still records anomalies in the artifact).
+     */
+    std::string dumpPrefix;
+    /** Inject a service-time spike into this event id (tests the
+     *  detector end to end); noSpikeEvent = off. */
+    std::uint64_t spikeEvent = noSpikeEvent;
+    /** Op-count amplification of the spiked event. */
+    unsigned spikeScale = 16;
+};
 
 /** Knobs of one serve run (applied identically to every config). */
 struct ServeOptions
@@ -38,6 +67,16 @@ struct ServeOptions
     /** Latency reservoir capacity (0 = buffer every sample). */
     std::size_t reservoirCapacity = 4096;
     ArrivalConfig arrival;
+    ServeSpanOptions spans;
+};
+
+/** One handler type's latency breakdown (span/latency artifacts). */
+struct HandlerLatencyRow
+{
+    std::uint32_t handler = 0;
+    std::uint64_t events = 0;
+    LatencySummary queue;
+    LatencySummary service;
 };
 
 /** Results of one (profile, config) serve run. */
@@ -52,6 +91,18 @@ struct ServeCell
     LatencySummary service;
     LatencySummary total;
     std::vector<std::uint64_t> histogram;
+    /** Per-handler queue/service breakdown (handlers that served). */
+    std::vector<HandlerLatencyRow> handlers;
+
+    // --- span tracing (populated when opts.spans.enabled) ----------
+    std::uint64_t spansRecorded = 0;
+    double runningP99 = 0.0;
+    std::vector<RequestSpan> worstSpans;
+    std::vector<AnomalyRecord> anomalies;
+    std::uint64_t anomalyOverflow = 0;
+    bool dumpTriggered = false;
+    std::uint64_t dumpEvent = 0;
+    std::string dumpPath;
 };
 
 /** A full serve sweep over one profile. */
@@ -63,6 +114,7 @@ struct ServeReport
     std::size_t window = 0;
     std::size_t reservoirCapacity = 0;
     ArrivalConfig arrival;
+    ServeSpanOptions spans;
     std::vector<std::string> configNames;
     std::string configHash;
     std::vector<ServeCell> cells;
@@ -79,6 +131,15 @@ ServeReport runServe(const ServerProfile &profile,
 /** Render the versioned espsim-latency-artifact JSON. */
 std::string renderLatencyArtifactJson(const ArtifactManifest &manifest,
                                       const ServeReport &report);
+
+/**
+ * Render the versioned espsim-span-artifact JSON: per config, the
+ * worst-K tail requests decomposed into queue vs service, per-bucket
+ * cycle blame and ESP prefetch deltas, plus the anomaly records and
+ * flight-recorder dump provenance. Requires opts.spans.enabled runs.
+ */
+std::string renderSpanArtifactJson(const ArtifactManifest &manifest,
+                                   const ServeReport &report);
 
 } // namespace espsim
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "cpu/pacer.hh"
 #include "cpu/runahead.hh"
 #include "esp/controller.hh"
 #include "report/artifact.hh"
@@ -109,6 +110,8 @@ Simulator::run(const Workload &workload,
 
     if (inst.pacer)
         core.setPacer(inst.pacer);
+    if (inst.spans)
+        core.setSpanSink(inst.spans);
 
     {
         WallClockSpan sim_span(profile ? &profile->simMs : nullptr);
@@ -200,6 +203,12 @@ Simulator::run(const Workload &workload,
             }
         }
     }
+
+    // Pacer-owned stats (per-handler latency quantiles on serve runs)
+    // join the registry after the run, like the handler accounting
+    // above, so they land in the same snapshot.
+    if (inst.pacer)
+        inst.pacer->registerStats(reg, "server.");
 
     SimResult result;
     result.configName = config_.name;

@@ -16,6 +16,7 @@
 #include "energy/energy_model.hh"
 #include "report/host_profile.hh"
 #include "report/interval.hh"
+#include "report/spans.hh"
 #include "report/timeline.hh"
 #include "sim/sim_config.hh"
 #include "trace/workload.hh"
@@ -85,6 +86,9 @@ struct RunInstrumentation
     /** Event arrival discipline + latency probe (nullptr = saturated
      *  looper, the paper's setup). See cpu/pacer.hh. */
     EventPacer *pacer = nullptr;
+    /** Per-request span sink (flight recorder / tail blame; nullptr =
+     *  off). See report/spans.hh. */
+    SpanSink *spans = nullptr;
 };
 
 /** One-shot simulator: construct with a config, run workloads. */

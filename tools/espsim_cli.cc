@@ -13,7 +13,9 @@
  *                [--streaming]
  *   espsim serve --profile memcached --events 1000000
  *                [--configs base,ESP+NL] [--arrival poisson]
- *                [--json [path]]
+ *                [--json [path]] [--trace-spans [path]]
+ *                [--flight-recorder N] [--anomaly-threshold K]
+ *                [--flight-dump PREFIX] [--spike-event N]
  *   espsim bench [--out path] [--apps a,b] [--configs a,b]
  *                [--repeat N] [--events N]
  *   espsim gen   --app gmaps --out gmaps.espw [--events N]
@@ -106,6 +108,11 @@ usage()
         "[--arrival poisson|bursty|closed] [--gap CYCLES]\n"
         "               [--concurrency N] [--think CYCLES] [--seed S] "
         "[--json [path]]\n"
+        "               [--trace-spans [path]] [--flight-recorder N] "
+        "[--anomaly-threshold K]\n"
+        "               [--worst N] [--anomaly-min N] "
+        "[--flight-dump PREFIX]\n"
+        "               [--spike-event N] [--spike-scale S]\n"
         "  espsim bench [--out <path>] [--apps a,b] [--configs a,b] "
         "[--repeat N] [--events N]\n"
         "  espsim gen   --app <name> --out <file> [--events N]\n"
@@ -195,8 +202,8 @@ lookupConfig(const std::string &name)
     const auto &reg = configRegistry();
     auto it = reg.find(name);
     if (it == reg.end()) {
-        std::fprintf(stderr, "unknown config '%s' (try: espsim list)\n",
-                     name.c_str());
+        logLine(LogLevel::Error,
+                "unknown config '%s' (try: espsim list)", name.c_str());
         return std::nullopt;
     }
     return it->second();
@@ -519,10 +526,10 @@ cmdServe(const std::map<std::string, std::string> &flags)
             parseUnsignedOption(it->second, "reservoir"));
     if (auto it = flags.find("arrival"); it != flags.end()) {
         if (!parseArrivalKind(it->second, opts.arrival.kind)) {
-            std::fprintf(stderr,
-                         "invalid value '%s' for --arrival (expected "
-                         "poisson|bursty|closed)\n",
-                         it->second.c_str());
+            logLine(LogLevel::Error,
+                    "invalid value '%s' for --arrival (expected "
+                    "poisson|bursty|closed)",
+                    it->second.c_str());
             usage();
             return 2;
         }
@@ -542,11 +549,52 @@ cmdServe(const std::map<std::string, std::string> &flags)
     if (auto it = flags.find("seed"); it != flags.end())
         opts.arrival.seed = parseUnsignedOption(it->second, "seed");
 
+    // --- span tracing / flight recorder ------------------------------
+    const bool spans_on = flags.count("trace-spans") > 0;
+    opts.spans.enabled = spans_on;
+    if (auto it = flags.find("flight-recorder"); it != flags.end()) {
+        opts.spans.enabled = true;
+        opts.spans.flightRecorder = static_cast<std::size_t>(
+            parseUnsignedOption(it->second, "flight-recorder"));
+    }
+    if (auto it = flags.find("anomaly-threshold"); it != flags.end()) {
+        opts.spans.enabled = true;
+        opts.spans.anomalyThreshold =
+            parseDoubleOption(it->second, "anomaly-threshold");
+    }
+    if (auto it = flags.find("worst"); it != flags.end())
+        opts.spans.worstK = static_cast<std::size_t>(
+            parseUnsignedOption(it->second, "worst"));
+    if (auto it = flags.find("anomaly-min"); it != flags.end())
+        opts.spans.anomalyMinSamples =
+            parseUnsignedOption(it->second, "anomaly-min");
+    if (auto it = flags.find("flight-dump"); it != flags.end() &&
+        it->second != "1") {
+        opts.spans.enabled = true;
+        opts.spans.dumpPrefix = it->second;
+    }
+    if (auto it = flags.find("spike-event"); it != flags.end())
+        opts.spans.spikeEvent =
+            parseUnsignedOption(it->second, "spike-event");
+    if (auto it = flags.find("spike-scale"); it != flags.end()) {
+        const unsigned long s =
+            parseUnsignedOption(it->second, "spike-scale");
+        opts.spans.spikeScale = s >= 2 ? static_cast<unsigned>(s) : 2;
+    }
+
     printRunManifest();
+    const auto wall_start = std::chrono::steady_clock::now();
     const ServeReport report = runServe(profile, configs, opts);
+    const auto wall_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     // Always on stderr (not just under --profile): the serve_1m RSS
     // gate parses this line from two separate process runs.
     logLine(LogLevel::Info, "# serve peak RSS %.1f MiB", peakRssMb());
+    // Parsed by the serve_trace_overhead gate (recorder-on vs -off).
+    logLine(LogLevel::Info, "# serve wall %lld ms",
+            static_cast<long long>(wall_ms));
 
     TextTable table("serve tail latency (cycles, '" + report.profile +
                     "', " + arrivalKindName(report.arrival.kind) +
@@ -580,7 +628,21 @@ cmdServe(const std::map<std::string, std::string> &flags)
         !path.empty()) {
         if (!writeTextFile(path, renderLatencyArtifactJson(manifest,
                                                            report))) {
-            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            logLine(LogLevel::Error, "cannot write '%s'",
+                    path.c_str());
+            return 1;
+        }
+        logLine(LogLevel::Info, "# wrote %s", path.c_str());
+    }
+    if (opts.spans.enabled) {
+        const auto it = flags.find("trace-spans");
+        const std::string path =
+            it != flags.end() && it->second != "1" ? it->second
+                                                   : "espsim_spans.json";
+        if (!writeTextFile(path,
+                           renderSpanArtifactJson(manifest, report))) {
+            logLine(LogLevel::Error, "cannot write '%s'",
+                    path.c_str());
             return 1;
         }
         logLine(LogLevel::Info, "# wrote %s", path.c_str());

@@ -27,6 +27,7 @@ TABLE_SCHEMA = "espsim-table-artifact"
 INTERVAL_SCHEMA = "espsim-interval-series"
 BENCH_SCHEMA = "espsim-bench-artifact"
 LATENCY_SCHEMA = "espsim-latency-artifact"
+SPAN_SCHEMA = "espsim-span-artifact"
 SUPPORTED_FORMAT_VERSIONS = {1}
 
 
@@ -350,6 +351,31 @@ def validate_latency(doc, problems):
                 problems)
             if klass == "total":
                 total = summary
+        handlers = entry.get("handlers")
+        if not isinstance(handlers, list):
+            _fail(problems, f"{where}.handlers missing or not a list")
+        else:
+            handler_events = 0
+            for j, row in enumerate(handlers):
+                hw = f"{where}.handlers[{j}]"
+                if not isinstance(row, dict):
+                    _fail(problems, f"{hw} is not an object")
+                    continue
+                for key in ("handler", "events"):
+                    value = row.get(key)
+                    if not isinstance(value, int) or value < 0:
+                        _fail(problems, f"{hw}.{key} is not a "
+                                        "non-negative integer")
+                if isinstance(row.get("events"), int):
+                    handler_events += row["events"]
+                for klass in ("queue", "service"):
+                    _check_latency_summary(row.get(klass),
+                                           f"{hw}.{klass}", problems)
+            # Every served request belongs to exactly one handler.
+            if (handlers and isinstance(entry.get("events"), int)
+                    and handler_events != entry["events"]):
+                _fail(problems, f"{where}.handlers events sum != "
+                                f"{where}.events")
         histogram = entry.get("histogram")
         if not isinstance(histogram, dict):
             _fail(problems, f"{where}.histogram missing")
@@ -366,6 +392,169 @@ def validate_latency(doc, problems):
                 and sum(buckets) != total["count"]:
             _fail(problems, f"{where}.histogram buckets sum != "
                             "latency.total.count")
+    return problems
+
+
+CYCLE_BUCKETS = (
+    "retiring", "frontend_bubble", "icache_miss", "dcache_miss",
+    "lsq_full", "mispredict_redirect", "drain", "looper_overhead",
+    "esp_pre_exec", "runahead", "idle",
+)
+
+PREFETCH_SOURCES = (
+    "esp_ilist", "esp_dlist", "next_line_instr", "next_line_data",
+    "stride_data", "other",
+)
+
+
+def _check_span(span, where, problems):
+    """One RequestSpan record: field shape plus closure invariants."""
+    if not isinstance(span, dict):
+        _fail(problems, f"{where} is not an object")
+        return None
+    for key in ("event", "handler", "arrival", "dispatch", "retire",
+                "queue_cycles", "service_cycles", "total_cycles",
+                "span_cycles", "instructions"):
+        value = span.get(key)
+        if not isinstance(value, int) or value < 0:
+            _fail(problems,
+                  f"{where}.{key} is not a non-negative integer")
+            return None
+    if span["queue_cycles"] + span["service_cycles"] \
+            != span["total_cycles"]:
+        _fail(problems, f"{where}: queue + service != total")
+    buckets = span.get("buckets")
+    if (not isinstance(buckets, dict)
+            or sorted(buckets) != sorted(CYCLE_BUCKETS)
+            or not all(isinstance(v, int) and v >= 0
+                       for v in buckets.values())):
+        _fail(problems, f"{where}.buckets is not the full cycle-bucket "
+                        "set of non-negative integers")
+        return None
+    # The span window closure invariant: the bucket deltas captured
+    # over the span must tile it exactly (see src/report/spans.hh).
+    if sum(buckets.values()) != span["span_cycles"]:
+        _fail(problems, f"{where}: bucket sum != span_cycles")
+    esp = span.get("esp")
+    if not isinstance(esp, dict):
+        _fail(problems, f"{where}.esp missing")
+        return span
+    pre_exec = esp.get("pre_exec_cycles")
+    if not isinstance(pre_exec, int) or pre_exec < 0:
+        _fail(problems,
+              f"{where}.esp.pre_exec_cycles is not a non-negative "
+              "integer")
+    elif pre_exec != buckets["esp_pre_exec"]:
+        _fail(problems,
+              f"{where}.esp.pre_exec_cycles != buckets.esp_pre_exec")
+    prefetch = esp.get("prefetch")
+    if (not isinstance(prefetch, dict)
+            or sorted(prefetch) != sorted(PREFETCH_SOURCES)):
+        _fail(problems, f"{where}.esp.prefetch is not the full "
+                        "prefetch-source set")
+        return span
+    for source, stats in prefetch.items():
+        sw = f"{where}.esp.prefetch.{source}"
+        if not isinstance(stats, dict):
+            _fail(problems, f"{sw} is not an object")
+            continue
+        for key in ("issued", "timely", "late", "harmful"):
+            value = stats.get(key)
+            if not isinstance(value, int) or value < 0:
+                _fail(problems,
+                      f"{sw}.{key} is not a non-negative integer")
+    return span
+
+
+def validate_span(doc, problems):
+    """`espsim serve --trace-spans` blame-decomposition artifact."""
+    _check_manifest(doc, problems, want_hash=True)
+    manifest = doc.get("manifest", {})
+    if not isinstance(manifest.get("profile"), str) \
+            or not manifest.get("profile"):
+        _fail(problems, "manifest.profile missing or empty")
+    for key in ("events", "flight_recorder", "worst_k",
+                "anomaly_min_samples"):
+        value = manifest.get(key)
+        if not isinstance(value, int) or value < 0:
+            _fail(problems,
+                  f"manifest.{key} is not a non-negative integer")
+    threshold = manifest.get("anomaly_threshold")
+    if not isinstance(threshold, (int, float)) or threshold <= 0:
+        _fail(problems,
+              "manifest.anomaly_threshold is not a positive number")
+    configs = manifest.get("configs")
+    if not isinstance(configs, list) or not configs:
+        _fail(problems, "manifest.configs missing or empty")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return _fail(problems, "results missing or empty")
+    if isinstance(configs, list) and len(results) != len(configs):
+        _fail(problems, "results length != manifest.configs length")
+    for i, entry in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(entry, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        if (isinstance(configs, list)
+                and entry.get("config") not in configs):
+            _fail(problems,
+                  f"{where}.config not listed in manifest.configs")
+        for key in ("cycles", "events", "spans_recorded",
+                    "anomaly_overflow"):
+            value = entry.get(key)
+            if not isinstance(value, int) or value < 0:
+                _fail(problems,
+                      f"{where}.{key} is not a non-negative integer")
+        p99 = entry.get("running_p99")
+        if not isinstance(p99, (int, float)) or p99 < 0:
+            _fail(problems,
+                  f"{where}.running_p99 is not a non-negative number")
+        dump = entry.get("dump")
+        if not isinstance(dump, dict) \
+                or not isinstance(dump.get("triggered"), bool):
+            _fail(problems, f"{where}.dump.triggered missing")
+        elif dump["triggered"] and not isinstance(dump.get("event"),
+                                                  int):
+            _fail(problems,
+                  f"{where}.dump.event missing on a triggered dump")
+        worst = entry.get("worst")
+        if not isinstance(worst, list):
+            _fail(problems, f"{where}.worst missing or not a list")
+            worst = []
+        prev_total = None
+        for j, span in enumerate(worst):
+            checked = _check_span(span, f"{where}.worst[{j}]", problems)
+            if checked is None:
+                continue
+            total = checked["total_cycles"]
+            if prev_total is not None and total > prev_total:
+                _fail(problems,
+                      f"{where}.worst not sorted by total_cycles "
+                      "descending")
+            prev_total = total
+        anomalies = entry.get("anomalies")
+        if not isinstance(anomalies, list):
+            _fail(problems, f"{where}.anomalies missing or not a list")
+            anomalies = []
+        for j, record in enumerate(anomalies):
+            aw = f"{where}.anomalies[{j}]"
+            if not isinstance(record, dict):
+                _fail(problems, f"{aw} is not an object")
+                continue
+            ref = record.get("running_p99")
+            if not isinstance(ref, (int, float)) or ref < 0:
+                _fail(problems,
+                      f"{aw}.running_p99 is not a non-negative number")
+            span = _check_span(record.get("span"), f"{aw}.span",
+                               problems)
+            # The detector's defining inequality, replayed offline.
+            if (span is not None and isinstance(threshold, (int, float))
+                    and isinstance(ref, (int, float))
+                    and span["total_cycles"] <= threshold * ref):
+                _fail(problems,
+                      f"{aw}: span total does not exceed threshold x "
+                      "running_p99")
     return problems
 
 
@@ -432,6 +621,7 @@ def validate(path):
         INTERVAL_SCHEMA: validate_interval_series,
         BENCH_SCHEMA: validate_bench,
         LATENCY_SCHEMA: validate_latency,
+        SPAN_SCHEMA: validate_span,
     }
     if schema not in handlers:
         return _fail(problems, f"unknown schema {schema!r}")
