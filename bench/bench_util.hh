@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/table.hh"
 #include "common/version.hh"
 #include "report/artifact.hh"
@@ -50,10 +51,10 @@ jobsFromArgs(int argc, char **argv)
         char *end = nullptr;
         const long v = std::strtol(argv[i + 1], &end, 10);
         if (end == argv[i + 1] || *end != '\0') {
-            std::fprintf(stderr,
-                         "invalid value '%s' for --jobs (expected a "
-                         "positive integer)\n",
-                         argv[i + 1]);
+            logLine(LogLevel::Error,
+                    "invalid value '%s' for --jobs (expected a "
+                    "positive integer)",
+                    argv[i + 1]);
             std::exit(2);
         }
         return v >= 1 ? static_cast<unsigned>(v) : 1;
@@ -113,13 +114,12 @@ reportSetup(int argc, char **argv, const std::string &source,
                                     : "BENCH_" + tag + ".csv";
     }
     if (opts.jobs == 0)
-        std::fprintf(stderr, "# %s %s (%s build), jobs=auto\n",
-                     source.c_str(), versionString(),
-                     buildTypeString());
+        logLine(LogLevel::Info, "# %s %s (%s build), jobs=auto",
+                source.c_str(), versionString(), buildTypeString());
     else
-        std::fprintf(stderr, "# %s %s (%s build), jobs=%u\n",
-                     source.c_str(), versionString(),
-                     buildTypeString(), opts.jobs);
+        logLine(LogLevel::Info, "# %s %s (%s build), jobs=%u",
+                source.c_str(), versionString(), buildTypeString(),
+                opts.jobs);
     return opts;
 }
 
@@ -138,25 +138,25 @@ reportFinish(const ReportOptions &opts,
     if (!opts.jsonPath.empty()) {
         if (!writeTextFile(opts.jsonPath, renderSuiteArtifactJson(
                                               manifest, configs, rows))) {
-            std::fprintf(stderr, "# error: cannot write %s\n",
-                         opts.jsonPath.c_str());
+            logLine(LogLevel::Error, "# error: cannot write %s",
+                    opts.jsonPath.c_str());
             std::exit(1);
         }
-        std::fprintf(stderr, "# wrote %s\n", opts.jsonPath.c_str());
+        logLine(LogLevel::Info, "# wrote %s", opts.jsonPath.c_str());
     }
     if (!opts.csvPath.empty()) {
         if (!writeTextFile(opts.csvPath, renderSuiteArtifactCsv(
                                              manifest, configs, rows))) {
-            std::fprintf(stderr, "# error: cannot write %s\n",
-                         opts.csvPath.c_str());
+            logLine(LogLevel::Error, "# error: cannot write %s",
+                    opts.csvPath.c_str());
             std::exit(1);
         }
-        std::fprintf(stderr, "# wrote %s\n", opts.csvPath.c_str());
+        logLine(LogLevel::Info, "# wrote %s", opts.csvPath.c_str());
     }
     const auto wall = std::chrono::duration_cast<std::chrono::
         milliseconds>(std::chrono::steady_clock::now() - opts.start);
-    std::fprintf(stderr, "# %s done in %.2f s\n", opts.source.c_str(),
-                 static_cast<double>(wall.count()) / 1000.0);
+    logLine(LogLevel::Info, "# %s done in %.2f s", opts.source.c_str(),
+            static_cast<double>(wall.count()) / 1000.0);
 }
 
 /**
@@ -172,20 +172,20 @@ reportFinishTable(const ReportOptions &opts, const TextTable &table)
     if (!opts.jsonPath.empty()) {
         if (!writeTextFile(opts.jsonPath,
                            renderTableArtifactJson(manifest, table))) {
-            std::fprintf(stderr, "# error: cannot write %s\n",
-                         opts.jsonPath.c_str());
+            logLine(LogLevel::Error, "# error: cannot write %s",
+                    opts.jsonPath.c_str());
             std::exit(1);
         }
-        std::fprintf(stderr, "# wrote %s\n", opts.jsonPath.c_str());
+        logLine(LogLevel::Info, "# wrote %s", opts.jsonPath.c_str());
     }
     if (!opts.csvPath.empty()) {
         if (!writeTextFile(opts.csvPath,
                            renderTableArtifactCsv(manifest, table))) {
-            std::fprintf(stderr, "# error: cannot write %s\n",
-                         opts.csvPath.c_str());
+            logLine(LogLevel::Error, "# error: cannot write %s",
+                    opts.csvPath.c_str());
             std::exit(1);
         }
-        std::fprintf(stderr, "# wrote %s\n", opts.csvPath.c_str());
+        logLine(LogLevel::Info, "# wrote %s", opts.csvPath.c_str());
     }
 }
 

@@ -79,12 +79,11 @@ main(int argc, char **argv)
         max_jobs = JobPool::defaultJobs();
 
     // Progress banner, not a result: keep stdout reserved for tables.
-    std::fprintf(stderr,
-                 "sweep: %zu apps x %zu configs = %zu points, up to %u "
-                 "jobs\n",
-                 AppProfile::webSuite().size(), configs.size(),
-                 AppProfile::webSuite().size() * configs.size(),
-                 max_jobs);
+    logLine(LogLevel::Info,
+            "sweep: %zu apps x %zu configs = %zu points, up to %u "
+            "jobs",
+            AppProfile::webSuite().size(), configs.size(),
+            AppProfile::webSuite().size() * configs.size(), max_jobs);
 
     SuiteRunner runner;
     runner.setJobs(1);
@@ -115,8 +114,8 @@ main(int argc, char **argv)
     std::fputs(table.render().c_str(), stdout);
 
     if (!all_identical) {
-        std::fprintf(stderr,
-                     "FAIL: parallel results differ from serial\n");
+        logLine(LogLevel::Error,
+                "FAIL: parallel results differ from serial");
         return 1;
     }
     std::printf("\nall thread counts produced bit-identical results\n");

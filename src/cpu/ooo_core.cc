@@ -6,6 +6,7 @@
 #include "cpu/pacer.hh"
 #include "report/interval.hh"
 #include "report/spans.hh"
+#include "report/telemetry.hh"
 
 namespace espsim
 {
@@ -494,6 +495,8 @@ OoOCore::run(const Workload &workload)
             pacer_->eventRetired(idx, fetchCycle_);
         if (sampler_)
             sampler_->onEventRetired(stats_.events, fetchCycle_);
+        if (telemetry_)
+            telemetry_->onEventRetired(stats_.events, fetchCycle_);
     }
     stats_.cycles = fetchCycle_;
     if (stats_.bucketSum() != stats_.cycles) {

@@ -42,6 +42,7 @@ namespace espsim
 class IntervalSampler;
 class EventPacer;
 class SpanSink;
+class TelemetrySnapshotter;
 
 /** Core pipeline parameters (defaults = paper Figure 7). */
 struct CoreConfig
@@ -275,6 +276,18 @@ class OoOCore
      */
     void setSpanSink(SpanSink *sink) { spanSink_ = sink; }
 
+    /**
+     * Attach an opt-in live-telemetry snapshotter (nullptr detaches);
+     * like the interval sampler it observes only event-retire
+     * boundaries, publishing absolute counter snapshots into the
+     * telemetry plane. See report/telemetry.hh.
+     */
+    void
+    setTelemetry(TelemetrySnapshotter *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
     /** Current-fetch-cycle accessor for hooks/tests. */
     Cycle now() const { return fetchCycle_; }
 
@@ -301,6 +314,7 @@ class OoOCore
     IntervalSampler *sampler_ = nullptr;
     EventPacer *pacer_ = nullptr;
     SpanSink *spanSink_ = nullptr;
+    TelemetrySnapshotter *telemetry_ = nullptr;
 
     // Pipeline state.
     Cycle fetchCycle_ = 0;

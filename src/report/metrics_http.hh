@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dependency-free minimal HTTP/1.0 metrics endpoint.
+ *
+ * `espsim serve --metrics-port P` exposes the live TelemetryPlane to
+ * external scrapers with zero new dependencies: plain POSIX sockets,
+ * one accept thread, HTTP/1.0 with `Connection: close` (no keep-alive
+ * state machine). Three routes:
+ *
+ *   GET /metrics        Prometheus/OpenMetrics text exposition of the
+ *                       latest published snapshot.
+ *   GET /healthz        200 {"status":"ok"} while the run is healthy,
+ *                       503 {"status":"degraded","reason":...} once
+ *                       the stall watchdog latched a degraded state.
+ *   GET /snapshot.json  the latest snapshot as self-describing JSON
+ *                       (503 until the first snapshot is published).
+ *
+ * The server only ever *reads* the plane's front buffer — it shares
+ * nothing with the simulation hot loop except the double-buffer
+ * publish, so scraping cannot perturb the run. Port 0 binds an
+ * ephemeral port (tests); port() reports the bound port after start().
+ */
+
+#ifndef ESPSIM_REPORT_METRICS_HTTP_HH
+#define ESPSIM_REPORT_METRICS_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace espsim
+{
+
+class TelemetryPlane;
+
+/** One background accept loop serving the three metrics routes. */
+class MetricsHttpServer
+{
+  public:
+    explicit MetricsHttpServer(const TelemetryPlane &plane)
+        : plane_(plane)
+    {}
+    ~MetricsHttpServer();
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start the accept
+     * thread. @return false (with errno intact) when the bind fails.
+     */
+    bool start(std::uint16_t port);
+
+    /** Stop the accept thread and close the socket (idempotent). */
+    void stop();
+
+    bool running() const { return fd_ >= 0; }
+
+    /** The bound port (resolves port 0 requests). */
+    std::uint16_t port() const { return port_; }
+
+    std::uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const TelemetryPlane &plane_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+
+    void acceptLoop();
+    void handleConnection(int client);
+};
+
+/**
+ * Build the full HTTP/1.0 response for @p target (the request path)
+ * against @p plane — split out so tests can exercise routing without
+ * sockets.
+ */
+std::string metricsHttpResponse(const TelemetryPlane &plane,
+                                const std::string &target);
+
+} // namespace espsim
+
+#endif // ESPSIM_REPORT_METRICS_HTTP_HH

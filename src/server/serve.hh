@@ -57,6 +57,40 @@ struct ServeSpanOptions
     unsigned spikeScale = 16;
 };
 
+/**
+ * Live-telemetry knobs of one serve run (see report/telemetry.hh,
+ * report/metrics_http.hh, report/watchdog.hh). The plane, snapshot
+ * stream, HTTP endpoint and watchdog are all optional and mutually
+ * independent; none of them perturbs the deterministic artifacts.
+ */
+struct ServeTelemetryOptions
+{
+    /** Snapshot pacing; a zero config disables sampling (the plane
+     *  still carries liveness progress for the watchdog). */
+    TelemetryConfig period;
+    /** JSONL snapshot stream path ("" = no stream). */
+    std::string jsonlPath;
+    /** Serve /metrics, /healthz, /snapshot.json over HTTP. */
+    bool metricsEnabled = false;
+    /** Port for the metrics endpoint (0 = ephemeral). */
+    std::uint16_t metricsPort = 0;
+    /** Stall-watchdog budget in wall-clock ms (0 = no watchdog). */
+    double watchdogBudgetMs = 0;
+    /**
+     * Flight-recorder dump path prefix for a watchdog fire; the dump
+     * is `<prefix>.<config>.stall.trace.json` and requires the span
+     * recorder to be armed. Empty = log-only.
+     */
+    std::string watchdogDumpPrefix;
+
+    bool
+    any() const
+    {
+        return period.enabled() || !jsonlPath.empty() ||
+               metricsEnabled || watchdogBudgetMs > 0;
+    }
+};
+
 /** Knobs of one serve run (applied identically to every config). */
 struct ServeOptions
 {
@@ -68,6 +102,7 @@ struct ServeOptions
     std::size_t reservoirCapacity = 4096;
     ArrivalConfig arrival;
     ServeSpanOptions spans;
+    ServeTelemetryOptions telemetry;
 };
 
 /** One handler type's latency breakdown (span/latency artifacts). */
@@ -118,6 +153,16 @@ struct ServeReport
     std::vector<std::string> configNames;
     std::string configHash;
     std::vector<ServeCell> cells;
+
+    // --- live-telemetry health (populated when telemetry.any()) ----
+    /** The stall watchdog latched a degraded state mid-run. */
+    bool degraded = false;
+    std::string degradedReason;
+    /** Total watchdog fires across the sweep (0 or 1 per config by
+     *  design). */
+    std::uint64_t watchdogFires = 0;
+    /** Telemetry snapshots streamed across the sweep. */
+    std::uint64_t telemetrySnapshots = 0;
 };
 
 /**

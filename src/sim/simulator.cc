@@ -113,6 +113,26 @@ Simulator::run(const Workload &workload,
     if (inst.spans)
         core.setSpanSink(inst.spans);
 
+    // Live telemetry: same construction point as the interval sampler
+    // (the counter name set freezes here), same retire-boundary
+    // observation discipline. Attached whenever a sink or a plane is
+    // present — the plane alone still carries liveness progress for
+    // the stall watchdog even if no period is configured.
+    std::unique_ptr<TelemetrySnapshotter> telemetry;
+    if (inst.telemetry.enabled() || inst.telemetryStream != nullptr ||
+        inst.telemetryPlane != nullptr) {
+        TelemetryRunInfo tinfo;
+        tinfo.config = config_.name;
+        tinfo.workload = workload.name();
+        tinfo.configHash = inst.telemetryConfigHash.empty()
+                               ? configsHash({config_})
+                               : inst.telemetryConfigHash;
+        telemetry = std::make_unique<TelemetrySnapshotter>(
+            reg, inst.telemetry, std::move(tinfo),
+            inst.telemetryStream, inst.telemetryPlane);
+        core.setTelemetry(telemetry.get());
+    }
+
     {
         WallClockSpan sim_span(profile ? &profile->simMs : nullptr);
         core.run(workload);
@@ -132,6 +152,12 @@ Simulator::run(const Workload &workload,
             series.configHash = configsHash({config_});
             *inst.intervalSeries = std::move(series);
         }
+    }
+
+    if (telemetry) {
+        // Final snapshot after the lifecycle finalize so it equals
+        // the end-of-run registry counter values exactly.
+        telemetry->finalize(core.stats().cycles, core.stats().events);
     }
 
     WallClockSpan report_span(profile ? &profile->reportMs : nullptr);

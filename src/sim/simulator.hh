@@ -17,6 +17,7 @@
 #include "report/host_profile.hh"
 #include "report/interval.hh"
 #include "report/spans.hh"
+#include "report/telemetry.hh"
 #include "report/timeline.hh"
 #include "sim/sim_config.hh"
 #include "trace/workload.hh"
@@ -89,6 +90,16 @@ struct RunInstrumentation
     /** Per-request span sink (flight recorder / tail blame; nullptr =
      *  off). See report/spans.hh. */
     SpanSink *spans = nullptr;
+    /** Live-telemetry pacing; disabled unless a period is set. */
+    TelemetryConfig telemetry;
+    /** JSONL sink for telemetry snapshots (nullptr = none). */
+    TelemetryStream *telemetryStream = nullptr;
+    /** Shared plane for /metrics, /healthz and the stall watchdog
+     *  (nullptr = none). */
+    TelemetryPlane *telemetryPlane = nullptr;
+    /** Run identity stamped into telemetry records (config/workload
+     *  names default from the run itself when left empty). */
+    std::string telemetryConfigHash;
 };
 
 /** One-shot simulator: construct with a config, run workloads. */

@@ -19,14 +19,28 @@ Standard library only, so it runs anywhere the repo builds.
 Usage:
     compare_bench.py BASELINE.json CANDIDATE.json [--rel-tol F]
         [--min-wall-ms MS] [--ignore-config-hash]
+    compare_bench.py BASELINES_DIR/ CANDIDATE.json [...]
+        [--repo PATH] [--print-baseline]
+
+When BASELINE is a *directory* (typically bench/baselines/), the
+baseline is auto-selected from its BENCH_*.json files: each
+artifact's manifest.tool_version names the commit it was built from,
+and the nearest ancestor of the current HEAD wins (fewest commits
+between them).  Versions the repo cannot resolve — foreign clones,
+`-dirty` builds whose base commit is gone — fall back to newest
+file mtime.  --print-baseline prints the chosen path and exits 0,
+so CI logs record which baseline gated the run.
 
 Exit code 0 when no shared cell regressed, 1 on a regression or a
-config-hash mismatch, 2 when either artifact cannot be loaded.
+config-hash mismatch, 2 when either artifact cannot be loaded (or an
+empty baselines directory).
 """
 
 import argparse
 import json
+import subprocess
 import sys
+from pathlib import Path
 
 
 def load_bench(path):
@@ -38,6 +52,68 @@ def load_bench(path):
     if not isinstance(cells, list) or not cells:
         raise ValueError(f"{path}: cells missing or empty")
     return doc
+
+
+def commit_distance(repo, version, head="HEAD"):
+    """Commits between the version's commit and HEAD, or None.
+
+    Only *ancestors* of HEAD qualify (a baseline from a side branch
+    would gate against work HEAD never contained).  A trailing
+    ``-dirty`` marker is stripped: the artifact was built from that
+    commit plus local edits, still the best anchor available.
+    """
+    name = version.removesuffix("-dirty")
+    if not name:
+        return None
+
+    def git(*args):
+        try:
+            out = subprocess.run(["git", "-C", str(repo), *args],
+                                 capture_output=True, text=True,
+                                 timeout=30, check=False)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return out.stdout.strip() if out.returncode == 0 else None
+
+    if git("merge-base", "--is-ancestor", name, head) is None:
+        return None
+    count = git("rev-list", "--count", f"{name}..{head}")
+    try:
+        return int(count)
+    except (TypeError, ValueError):
+        return None
+
+
+def select_baseline(directory, repo):
+    """Pick the nearest-ancestor BENCH_*.json in ``directory``.
+
+    Returns (path, reason).  Raises ValueError when the directory has
+    no loadable bench artifact.
+    """
+    candidates = []
+    for f in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            doc = load_bench(f)
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        version = doc.get("manifest", {}).get("tool_version", "")
+        candidates.append(
+            (f, version, commit_distance(repo, version),
+             f.stat().st_mtime))
+    if not candidates:
+        raise ValueError(
+            f"{directory}: no loadable BENCH_*.json baseline")
+    ancestors = [c for c in candidates if c[2] is not None]
+    if ancestors:
+        path, version, distance, _ = min(
+            ancestors, key=lambda c: (c[2], c[0].name))
+        return path, (f"nearest ancestor {version} "
+                      f"({distance} commit(s) behind HEAD)")
+    # No version resolves in this repo: the newest file is the best
+    # guess (fresh checkouts of release tarballs land here).
+    path, version, _, _ = max(candidates,
+                              key=lambda c: (c[3], c[0].name))
+    return path, f"newest by mtime ({version or 'no version'})"
 
 
 def slowdown(base, cand):
@@ -58,10 +134,28 @@ def main(argv):
                              "artifact (default 20 ms)")
     parser.add_argument("--ignore-config-hash", action="store_true",
                         help="compare despite different config sets")
+    parser.add_argument("--repo", default=".",
+                        help="git repository used to rank a baselines "
+                             "directory by commit ancestry")
+    parser.add_argument("--print-baseline", action="store_true",
+                        help="print the selected baseline path and "
+                             "exit (directory mode dry run)")
     args = parser.parse_args(argv)
 
+    baseline = args.baseline
+    if Path(baseline).is_dir():
+        try:
+            baseline, reason = select_baseline(baseline, args.repo)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        print(f"baseline: {baseline} ({reason})", file=sys.stderr)
+    if args.print_baseline:
+        print(baseline)
+        return 0
+
     try:
-        base_doc = load_bench(args.baseline)
+        base_doc = load_bench(baseline)
         cand_doc = load_bench(args.candidate)
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"error: {err}", file=sys.stderr)

@@ -62,6 +62,8 @@
 #include "report/diff.hh"
 #include "report/host_profile.hh"
 #include "report/interval.hh"
+#include "report/observatory.hh"
+#include "report/telemetry.hh"
 #include "report/timeline.hh"
 #include "server/serve.hh"
 #include "sim/stats_report.hh"
@@ -100,6 +102,8 @@ usage()
         "[--stats] [--timeline <file>]\n"
         "               [--timeline-limit N] [--sample-cycles N] "
         "[--sample-events K] [--json [path]]\n"
+        "               [--telemetry [path]] [--telemetry-period N] "
+        "[--telemetry-wall-ms M]\n"
         "  espsim suite [--configs a,b,c] [--apps a,b] [--jobs N] "
         "[--json [path]] [--csv [path]] [--profile] [--streaming]\n"
         "  espsim serve [--profile memcached|http|testsrv] "
@@ -113,8 +117,14 @@ usage()
         "               [--worst N] [--anomaly-min N] "
         "[--flight-dump PREFIX]\n"
         "               [--spike-event N] [--spike-scale S]\n"
+        "               [--telemetry [path]] [--telemetry-period N] "
+        "[--telemetry-wall-ms M]\n"
+        "               [--metrics-port P] [--watchdog-ms M] "
+        "[--watchdog-dump PREFIX]\n"
         "  espsim bench [--out <path>] [--apps a,b] [--configs a,b] "
         "[--repeat N] [--events N]\n"
+        "  espsim report [--dir DIR] [--bench DIR] [--tolerance F] "
+        "[--json [path]] [--md [path]]\n"
         "  espsim gen   --app <name> --out <file> [--events N]\n"
         "  espsim diff  <baseline.json> <candidate.json> "
         "[--rel-tol F] [--abs-tol F]\n"
@@ -142,10 +152,10 @@ parseUnsignedOption(const std::string &value, const char *flag)
     const unsigned long v = std::strtoul(value.c_str(), &end, 10);
     if (value.empty() || end != value.c_str() + value.size() ||
         errno == ERANGE || value[0] == '-') {
-        std::fprintf(stderr,
-                     "invalid value '%s' for --%s (expected a "
-                     "non-negative integer)\n",
-                     value.c_str(), flag);
+        logLine(LogLevel::Error,
+                "invalid value '%s' for --%s (expected a "
+                "non-negative integer)",
+                value.c_str(), flag);
         usage();
         std::exit(2);
     }
@@ -160,10 +170,9 @@ parseDoubleOption(const std::string &value, const char *flag)
     const double v = std::strtod(value.c_str(), &end);
     if (value.empty() || end != value.c_str() + value.size() ||
         errno == ERANGE) {
-        std::fprintf(stderr,
-                     "invalid value '%s' for --%s (expected a "
-                     "number)\n",
-                     value.c_str(), flag);
+        logLine(LogLevel::Error,
+                "invalid value '%s' for --%s (expected a number)",
+                value.c_str(), flag);
         usage();
         std::exit(2);
     }
@@ -238,8 +247,8 @@ cmdRun(const std::map<std::string, std::string> &flags)
     if (auto it = flags.find("trace"); it != flags.end()) {
         workload = loadWorkload(it->second);
         if (!workload) {
-            std::fprintf(stderr, "malformed trace file '%s'\n",
-                         it->second.c_str());
+            logLine(LogLevel::Error, "malformed trace file '%s'",
+                    it->second.c_str());
             return 1;
         }
     } else {
@@ -260,8 +269,8 @@ cmdRun(const std::map<std::string, std::string> &flags)
     // Timelines stream to disk record-by-record so a long run never
     // buffers its whole trace; the bytes match buffered rendering.
     if (want_timeline && !timeline.streamTo(tl_it->second)) {
-        std::fprintf(stderr, "cannot write timeline '%s'\n",
-                     tl_it->second.c_str());
+        logLine(LogLevel::Error, "cannot write timeline '%s'",
+                tl_it->second.c_str());
         return 1;
     }
 
@@ -277,16 +286,46 @@ cmdRun(const std::map<std::string, std::string> &flags)
     }
     const auto json_it = flags.find("json");
     if (json_it != flags.end() && !inst.interval.enabled()) {
-        std::fprintf(stderr,
-                     "--json needs --sample-cycles and/or "
-                     "--sample-events\n");
+        logLine(LogLevel::Error,
+                "--json needs --sample-cycles and/or "
+                "--sample-events");
         return 1;
     }
     IntervalSeries series;
     if (inst.interval.enabled())
         inst.intervalSeries = &series;
 
+    // Live telemetry stream (single-run form of the serve plane).
+    TelemetryStream telemetry_stream;
+    if (auto it = flags.find("telemetry"); it != flags.end()) {
+        const std::string path =
+            it->second == "1" ? "espsim_telemetry.jsonl" : it->second;
+        if (!telemetry_stream.openFile(path)) {
+            logLine(LogLevel::Error,
+                    "cannot open telemetry stream '%s'", path.c_str());
+            return 1;
+        }
+        inst.telemetryStream = &telemetry_stream;
+    }
+    if (auto it = flags.find("telemetry-period"); it != flags.end())
+        inst.telemetry.periodCycles =
+            parseUnsignedOption(it->second, "telemetry-period");
+    if (auto it = flags.find("telemetry-wall-ms"); it != flags.end())
+        inst.telemetry.wallMs =
+            parseDoubleOption(it->second, "telemetry-wall-ms");
+    if (inst.telemetryStream != nullptr && !inst.telemetry.enabled())
+        inst.telemetry.periodCycles = 1'000'000;
+
     const SimResult r = Simulator(*config).run(*workload, inst);
+    if (inst.telemetryStream != nullptr) {
+        if (!telemetry_stream.close()) {
+            logLine(LogLevel::Error, "telemetry stream: write failed");
+            return 1;
+        }
+        logLine(LogLevel::Info, "# wrote %llu telemetry lines",
+                static_cast<unsigned long long>(
+                    telemetry_stream.linesWritten()));
+    }
     std::printf("%s on %s: %llu cycles, IPC %.3f, L1I-MPKI %.2f, "
                 "L1D-miss %.2f%%, BP-miss %.2f%%\n",
                 r.configName.c_str(), r.workloadName.c_str(),
@@ -297,8 +336,8 @@ cmdRun(const std::map<std::string, std::string> &flags)
         std::fputs(r.stats.dump("  ").c_str(), stdout);
     if (want_timeline) {
         if (!timeline.closeStream()) {
-            std::fprintf(stderr, "cannot write timeline '%s'\n",
-                         tl_it->second.c_str());
+            logLine(LogLevel::Error, "cannot write timeline '%s'",
+                    tl_it->second.c_str());
             return 1;
         }
         logLine(LogLevel::Info,
@@ -316,7 +355,8 @@ cmdRun(const std::map<std::string, std::string> &flags)
         manifest.source = "espsim run";
         if (!writeTextFile(path,
                            renderIntervalSeriesJson(manifest, series))) {
-            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            logLine(LogLevel::Error, "cannot write '%s'",
+                    path.c_str());
             return 1;
         }
         logLine(LogLevel::Info,
@@ -362,9 +402,9 @@ cmdSuite(const std::map<std::string, std::string> &flags)
                 }
             }
             if (!found) {
-                std::fprintf(stderr,
-                             "unknown app '%s' (try: espsim list)\n",
-                             token.c_str());
+                logLine(LogLevel::Error,
+                        "unknown app '%s' (try: espsim list)",
+                        token.c_str());
                 return 1;
             }
         }
@@ -435,9 +475,9 @@ cmdSuite(const std::map<std::string, std::string> &flags)
         for (std::size_t c = 0;
              c < configs.size() && c < row.errors.size(); ++c) {
             if (!row.ok(c)) {
-                std::fprintf(stderr, "error cell (%s, %s): %s\n",
-                             row.app.c_str(), configs[c].name.c_str(),
-                             row.errors[c].message.c_str());
+                logLine(LogLevel::Error, "error cell (%s, %s): %s",
+                        row.app.c_str(), configs[c].name.c_str(),
+                        row.errors[c].message.c_str());
             }
         }
     }
@@ -463,7 +503,8 @@ cmdSuite(const std::map<std::string, std::string> &flags)
                 renderSuiteArtifactJson(
                     manifest, configs, rows,
                     profile ? &runner.lastPoolUsage() : nullptr))) {
-            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            logLine(LogLevel::Error, "cannot write '%s'",
+                    path.c_str());
             return 1;
         }
         logLine(LogLevel::Info, "# wrote %s", path.c_str());
@@ -472,7 +513,8 @@ cmdSuite(const std::map<std::string, std::string> &flags)
         !path.empty()) {
         if (!writeTextFile(path, renderSuiteArtifactCsv(
                                      manifest, configs, rows))) {
-            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+            logLine(LogLevel::Error, "cannot write '%s'",
+                    path.c_str());
             return 1;
         }
         logLine(LogLevel::Info, "# wrote %s", path.c_str());
@@ -582,6 +624,36 @@ cmdServe(const std::map<std::string, std::string> &flags)
         opts.spans.spikeScale = s >= 2 ? static_cast<unsigned>(s) : 2;
     }
 
+    // --- live telemetry / metrics endpoint / stall watchdog ---------
+    if (auto it = flags.find("telemetry"); it != flags.end()) {
+        opts.telemetry.jsonlPath = it->second == "1"
+            ? "espsim_telemetry.jsonl"
+            : it->second;
+    }
+    if (auto it = flags.find("telemetry-period"); it != flags.end())
+        opts.telemetry.period.periodCycles =
+            parseUnsignedOption(it->second, "telemetry-period");
+    if (auto it = flags.find("telemetry-wall-ms"); it != flags.end())
+        opts.telemetry.period.wallMs =
+            parseDoubleOption(it->second, "telemetry-wall-ms");
+    if (auto it = flags.find("metrics-port"); it != flags.end()) {
+        opts.telemetry.metricsEnabled = true;
+        opts.telemetry.metricsPort = static_cast<std::uint16_t>(
+            parseUnsignedOption(it->second, "metrics-port"));
+    }
+    if (auto it = flags.find("watchdog-ms"); it != flags.end())
+        opts.telemetry.watchdogBudgetMs =
+            parseDoubleOption(it->second, "watchdog-ms");
+    if (auto it = flags.find("watchdog-dump"); it != flags.end() &&
+        it->second != "1")
+        opts.telemetry.watchdogDumpPrefix = it->second;
+    // A sink without a pace would never snapshot; default to a cycle
+    // grid coarse enough to be invisible in the overhead gate.
+    if ((!opts.telemetry.jsonlPath.empty() ||
+         opts.telemetry.metricsEnabled) &&
+        !opts.telemetry.period.enabled())
+        opts.telemetry.period.periodCycles = 1'000'000;
+
     printRunManifest();
     const auto wall_start = std::chrono::steady_clock::now();
     const ServeReport report = runServe(profile, configs, opts);
@@ -595,6 +667,16 @@ cmdServe(const std::map<std::string, std::string> &flags)
     // Parsed by the serve_trace_overhead gate (recorder-on vs -off).
     logLine(LogLevel::Info, "# serve wall %lld ms",
             static_cast<long long>(wall_ms));
+    if (opts.telemetry.any()) {
+        logLine(LogLevel::Info,
+                "# telemetry: %llu snapshots, %llu watchdog fires",
+                static_cast<unsigned long long>(
+                    report.telemetrySnapshots),
+                static_cast<unsigned long long>(report.watchdogFires));
+        if (report.degraded)
+            logLine(LogLevel::Warn, "# serve run degraded: %s",
+                    report.degradedReason.c_str());
+    }
 
     TextTable table("serve tail latency (cycles, '" + report.profile +
                     "', " + arrivalKindName(report.arrival.kind) +
@@ -693,9 +775,9 @@ cmdBench(const std::map<std::string, std::string> &flags)
                 }
             }
             if (!found) {
-                std::fprintf(stderr,
-                             "unknown app '%s' (try: espsim list)\n",
-                             token.c_str());
+                logLine(LogLevel::Error,
+                        "unknown app '%s' (try: espsim list)",
+                        token.c_str());
                 return 1;
             }
         }
@@ -762,7 +844,7 @@ cmdBench(const std::map<std::string, std::string> &flags)
     ArtifactManifest manifest;
     manifest.source = "espsim bench";
     if (!writeTextFile(path, renderBenchArtifactJson(manifest, report))) {
-        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        logLine(LogLevel::Error, "cannot write '%s'", path.c_str());
         return 1;
     }
     logLine(LogLevel::Info,
@@ -785,7 +867,7 @@ cmdGen(const std::map<std::string, std::string> &flags)
         profile.numEvents = parseUnsignedOption(it->second, "events");
     const auto workload = SyntheticGenerator(profile).generate();
     if (!saveWorkload(out_it->second, *workload)) {
-        std::fprintf(stderr, "write failed\n");
+        logLine(LogLevel::Error, "write failed");
         return 1;
     }
     std::printf("wrote %zu events (%llu instructions) to %s\n",
@@ -835,8 +917,8 @@ cmdDiff(int argc, char **argv)
         } else if (arg == "--log-level") {
             value(); // consumed by main()'s pre-scan
         } else {
-            std::fprintf(stderr, "unknown diff flag '%s'\n",
-                         arg.c_str());
+            logLine(LogLevel::Error, "unknown diff flag '%s'",
+                    arg.c_str());
             return usage();
         }
     }
@@ -865,6 +947,72 @@ cmdFuzz(const std::map<std::string, std::string> &flags)
     return runFuzz(opts);
 }
 
+/**
+ * `espsim report` — the cross-run observatory. Ingests a directory of
+ * espsim artifacts (plus, optionally, the committed bench baselines),
+ * joins them by config hash, and prints the perf trajectory with
+ * regression flags. Exit 0 when clean, 1 when any trend regressed
+ * beyond tolerance. tools/observatory.py is the git-aware sibling.
+ */
+int
+cmdReport(const std::map<std::string, std::string> &flags)
+{
+    std::vector<std::string> dirs;
+    if (auto it = flags.find("dir"); it != flags.end() &&
+        it->second != "1")
+        dirs.push_back(it->second);
+    else
+        dirs.push_back(".");
+    if (auto it = flags.find("bench"); it != flags.end() &&
+        it->second != "1")
+        dirs.push_back(it->second);
+    double tolerance = 0.10;
+    if (auto it = flags.find("tolerance"); it != flags.end())
+        tolerance = parseDoubleOption(it->second, "tolerance");
+
+    const ObservatoryReport report =
+        buildObservatoryReport(dirs, tolerance);
+    const std::string markdown = renderObservatoryMarkdown(report);
+
+    auto artifactPath = [&flags](const char *key,
+                                 const char *def) -> std::string {
+        auto it = flags.find(key);
+        if (it == flags.end())
+            return "";
+        return it->second == "1" ? def : it->second;
+    };
+    if (const std::string path =
+            artifactPath("md", "espsim_observatory.md");
+        !path.empty()) {
+        if (!writeTextFile(path, markdown)) {
+            logLine(LogLevel::Error, "cannot write '%s'",
+                    path.c_str());
+            return 1;
+        }
+        logLine(LogLevel::Info, "# wrote %s", path.c_str());
+    } else {
+        std::fputs(markdown.c_str(), stdout);
+    }
+    if (const std::string path =
+            artifactPath("json", "espsim_observatory.json");
+        !path.empty()) {
+        if (!writeTextFile(path, renderObservatoryJson(report))) {
+            logLine(LogLevel::Error, "cannot write '%s'",
+                    path.c_str());
+            return 1;
+        }
+        logLine(LogLevel::Info, "# wrote %s", path.c_str());
+    }
+    if (report.regressions > 0) {
+        logLine(LogLevel::Warn,
+                "# observatory: %zu trend(s) regressed beyond "
+                "%.0f%% tolerance",
+                report.regressions, tolerance * 100);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -878,10 +1026,10 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--log-level") == 0) {
             LogLevel level;
             if (!parseLogLevel(argv[i + 1], level)) {
-                std::fprintf(stderr,
-                             "invalid value '%s' for --log-level "
-                             "(expected error|warn|info|debug)\n",
-                             argv[i + 1]);
+                logLine(LogLevel::Error,
+                        "invalid value '%s' for --log-level "
+                        "(expected error|warn|info|debug)",
+                        argv[i + 1]);
                 usage();
                 return 2;
             }
@@ -907,6 +1055,8 @@ main(int argc, char **argv)
         return cmdServe(flags);
     if (cmd == "bench")
         return cmdBench(flags);
+    if (cmd == "report")
+        return cmdReport(flags);
     if (cmd == "gen")
         return cmdGen(flags);
     if (cmd == "fuzz")

@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Cross-run observatory with git-ancestry ordering.
+
+The in-tree ``espsim report`` orders comparable runs by file mtime
+(dependency-free, works offline).  This sibling layers git on top:
+each artifact's ``manifest.tool_version`` is a ``git describe`` of the
+commit it was built from, so runs within a (schema, config_hash) group
+can be ordered by *commit ancestry* — the trajectory then reads as
+"how this metric moved across the repo's history", immune to file
+copies and touched mtimes.
+
+Usage:
+    tools/observatory.py DIR [DIR ...] [--repo PATH]
+        [--tolerance F] [--json OUT.json] [--md OUT.md]
+
+Ingests every ``*.json`` directly inside the given directories
+(typically a results directory plus ``bench/baselines``).  Artifacts
+whose version is unknown to the repo (foreign clones, ``-dirty``
+builds whose base commit is gone) fall back to mtime ordering after
+all commit-ordered runs.
+
+Exit codes: 0 clean, 1 when any trend regressed beyond tolerance,
+2 when nothing could be ingested.  Stdlib-only, like every espsim
+tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+KNOWN_SCHEMAS = (
+    "espsim-suite-artifact",
+    "espsim-latency-artifact",
+    "espsim-bench-artifact",
+)
+
+# Direction convention shared with src/report/observatory.cc:
+# throughput-flavoured metrics go up when things improve.
+HIGHER_IS_BETTER_PREFIXES = ("ipc.", "mcps.")
+
+
+def higher_is_better(metric):
+    return metric.startswith(HIGHER_IS_BETTER_PREFIXES)
+
+
+def git_commit_depth(repo, version):
+    """Ancestry depth of the commit named by an artifact version.
+
+    Returns the number of commits reachable from ``version`` (larger =
+    newer along a linear history), or None when the name does not
+    resolve in ``repo``.  A trailing ``-dirty`` marker is stripped:
+    the run was built from that commit plus local edits, which is
+    still the best ordering anchor available.
+    """
+    name = version.removesuffix("-dirty")
+    if not name:
+        return None
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(repo), "rev-list", "--count", name],
+            capture_output=True, text=True, timeout=30, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    try:
+        return int(out.stdout.strip())
+    except ValueError:
+        return None
+
+
+def workload_fingerprint(doc):
+    """The part of a run's identity config_hash does not cover
+    (mirrors observatory.cc): app set for suites and bench sweeps,
+    profile + event count + arrival kind for latency runs. Runs only
+    trend within the same fingerprint — raw cycle counts across
+    workload scales are not comparable."""
+    schema = doc.get("schema")
+    manifest = doc.get("manifest", {})
+    if schema == "espsim-suite-artifact":
+        return "apps=" + ",".join(manifest.get("apps", []))
+    if schema == "espsim-latency-artifact":
+        return (f"{manifest.get('profile', '')}"
+                f":{manifest.get('events', 0):.0f} ev "
+                f"{manifest.get('arrival', {}).get('kind', '')}")
+    apps = sorted({cell.get("app") for cell in doc.get("cells", [])
+                   if cell.get("app")})
+    return f"apps={','.join(apps)} x{manifest.get('repeat', 1):.0f}"
+
+
+def extract_metrics(doc):
+    """Headline metrics per schema (mirrors observatory.cc)."""
+    schema = doc.get("schema")
+    metrics = {}
+    if schema == "espsim-suite-artifact":
+        sums, counts = {}, {}
+        for row in doc.get("results", []):
+            config = row.get("config")
+            stats = row.get("stats", {})
+            if not config or not isinstance(stats, dict):
+                continue
+            ipc, cyc = sums.setdefault(config, [0.0, 0.0])
+            sums[config] = [ipc + stats.get("derived.ipc", 0.0),
+                            cyc + stats.get("core.cycles", 0.0)]
+            counts[config] = counts.get(config, 0) + 1
+        for config, (ipc, cyc) in sorted(sums.items()):
+            n = counts[config]
+            metrics[f"ipc.{config}"] = ipc / n
+            metrics[f"cycles.{config}"] = cyc / n
+    elif schema == "espsim-latency-artifact":
+        for cell in doc.get("results", []):
+            config = cell.get("config")
+            if not config:
+                continue
+            total = cell.get("latency", {}).get("total", {})
+            metrics[f"p50.{config}"] = total.get("p50", 0.0)
+            metrics[f"p99.{config}"] = total.get("p99", 0.0)
+            metrics[f"cycles.{config}"] = cell.get("cycles", 0.0)
+            metrics[f"ipc.{config}"] = cell.get("ipc", 0.0)
+    elif schema == "espsim-bench-artifact":
+        metrics["suite_wall_ms"] = doc.get("suite_wall_ms", 0.0)
+        for cell in doc.get("cells", []):
+            app, config = cell.get("app"), cell.get("config")
+            if not app or not config:
+                continue
+            metrics[f"mcps.{app}.{config}"] = \
+                cell.get("cycles_per_sec", 0.0) / 1e6
+    return metrics
+
+
+def ingest(dirs, repo):
+    runs, skipped = [], []
+    for d in dirs:
+        path = Path(d)
+        if not path.is_dir():
+            skipped.append(f"{d} (not a directory)")
+            continue
+        for f in sorted(path.glob("*.json")):
+            try:
+                doc = json.loads(f.read_text())
+            except (OSError, json.JSONDecodeError):
+                skipped.append(f"{f} (unreadable)")
+                continue
+            schema = doc.get("schema") if isinstance(doc, dict) else None
+            if schema not in KNOWN_SCHEMAS:
+                skipped.append(f"{f} (schema {schema or 'none'})")
+                continue
+            manifest = doc.get("manifest", {})
+            version = manifest.get("tool_version", "")
+            health = manifest.get("health", {})
+            runs.append({
+                "path": str(f),
+                "schema": schema,
+                "config_hash": manifest.get("config_hash", ""),
+                "workload": workload_fingerprint(doc),
+                "tool_version": version,
+                "build_type": manifest.get("build_type", ""),
+                "degraded": health.get("status") == "degraded",
+                "commit_depth": git_commit_depth(repo, version),
+                "mtime": f.stat().st_mtime,
+                "metrics": extract_metrics(doc),
+            })
+    return runs, skipped
+
+
+def order_key(run):
+    # Commit-ordered runs first (by ancestry depth), then runs whose
+    # version the repo cannot resolve (by mtime), path as tiebreak.
+    depth = run["commit_depth"]
+    return (0, depth, run["path"]) if depth is not None \
+        else (1, run["mtime"], run["path"])
+
+
+def build_report(runs, tolerance):
+    groups, regressions = [], 0
+    keys = sorted({(r["schema"], r["config_hash"], r["workload"])
+                   for r in runs})
+    for schema, config_hash, workload in keys:
+        members = sorted(
+            (r for r in runs
+             if (r["schema"], r["config_hash"], r["workload"])
+             == (schema, config_hash, workload)),
+            key=order_key)
+        trends = []
+        if len(members) >= 2:
+            first, last = members[0], members[-1]
+            for metric, first_value in first["metrics"].items():
+                if metric not in last["metrics"]:
+                    continue
+                last_value = last["metrics"][metric]
+                rel = (0.0 if first_value == 0
+                       else (last_value - first_value) / first_value)
+                good_up = higher_is_better(metric)
+                regressed = (-rel if good_up else rel) > tolerance
+                regressions += regressed
+                trends.append({
+                    "metric": metric,
+                    "first": first_value,
+                    "last": last_value,
+                    "rel_change": rel,
+                    "higher_is_better": good_up,
+                    "regressed": regressed,
+                })
+        groups.append({
+            "schema": schema,
+            "config_hash": config_hash,
+            "workload": workload,
+            "runs": [r["path"] for r in members],
+            "trends": trends,
+        })
+    return groups, regressions
+
+
+def render_markdown(runs, groups, skipped, tolerance, regressions):
+    lines = ["# espsim observatory (git-ordered)", ""]
+    lines.append(f"- runs ingested: {len(runs)}")
+    lines.append(f"- comparable groups: {len(groups)}")
+    lines.append(f"- tolerance: {tolerance * 100:g}%")
+    lines.append(f"- regressions flagged: {regressions}")
+    if skipped:
+        lines.append(f"- skipped: {len(skipped)} file(s)")
+    by_path = {r["path"]: r for r in runs}
+    for group in groups:
+        hash_label = group["config_hash"] or "<no-hash>"
+        if group["workload"]:
+            hash_label += f" ({group['workload']})"
+        lines += ["", f"## {group['schema']} @ {hash_label}", ""]
+        lines.append("| run | version | depth | build | degraded |")
+        lines.append("|---|---|---|---|---|")
+        for path in group["runs"]:
+            r = by_path[path]
+            depth = (str(r["commit_depth"])
+                     if r["commit_depth"] is not None else "mtime")
+            degraded = "**yes**" if r["degraded"] else "no"
+            lines.append(
+                f"| {Path(path).name} | {r['tool_version']} "
+                f"| {depth} | {r['build_type']} | {degraded} |")
+        if not group["trends"]:
+            lines += ["", "(single run — no trend)"]
+            continue
+        lines += ["", "| metric | first | last | change | flag |",
+                  "|---|---|---|---|---|"]
+        for t in group["trends"]:
+            flag = ("REGRESSED" if t["regressed"]
+                    else ("↑ good" if t["higher_is_better"]
+                          else "↓ good"))
+            lines.append(
+                f"| {t['metric']} | {t['first']:g} | {t['last']:g} "
+                f"| {t['rel_change'] * 100:+.1f}% | {flag} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="cross-run espsim observatory, git-ordered")
+    parser.add_argument("dirs", nargs="+",
+                        help="directories of espsim artifacts")
+    parser.add_argument("--repo", default=".",
+                        help="git repository for ancestry ordering")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative regression tolerance")
+    parser.add_argument("--json", help="write the JSON report here")
+    parser.add_argument("--md", help="write the markdown report here")
+    args = parser.parse_args(argv)
+
+    runs, skipped = ingest(args.dirs, args.repo)
+    if not runs:
+        print("observatory: no espsim artifacts found",
+              file=sys.stderr)
+        for reason in skipped:
+            print(f"  skipped {reason}", file=sys.stderr)
+        return 2
+    groups, regressions = build_report(runs, args.tolerance)
+    markdown = render_markdown(runs, groups, skipped, args.tolerance,
+                               regressions)
+    if args.md:
+        Path(args.md).write_text(markdown)
+    else:
+        sys.stdout.write(markdown)
+    if args.json:
+        report = {
+            "schema": "espsim-observatory-report",
+            "format_version": 1,
+            "manifest": {
+                "source": "tools/observatory.py",
+                "tolerance": args.tolerance,
+            },
+            "runs": [{k: v for k, v in r.items() if k != "mtime"}
+                     for r in runs],
+            "groups": groups,
+            "skipped": skipped,
+            "regressions": regressions,
+        }
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=False) + "\n")
+    if regressions:
+        print(f"observatory: {regressions} trend(s) regressed beyond "
+              f"{args.tolerance * 100:g}% tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

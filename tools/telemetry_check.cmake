@@ -1,0 +1,105 @@
+# Live-telemetry end-to-end gate. Three contracts, each checked from
+# outside the process the way a real operator would see them:
+#
+#   1. Byte-identity: a telemetry-on serve run must write a latency
+#      artifact byte-identical to the telemetry-off run (telemetry
+#      only *reads* counters; the health block is opt-in).
+#   2. Streaming: the telemetry-on run must report a positive snapshot
+#      count on stderr and leave a JSONL stream behind (validated
+#      separately by the telemetry_validate test).
+#   3. Watchdog: an ESPSIM_STALL_INJECT-wedged run must fire the stall
+#      watchdog exactly once, come back degraded on stderr, carry the
+#      health block in its artifact, and (with spans armed) drop a
+#      flight-recorder stall dump.
+#
+# Invoked as:
+#   cmake -DESPSIM_CLI=<path> -DWORK_DIR=<dir> -P this-file
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# --- 1 + 2: byte-identity and streaming ------------------------------
+
+execute_process(
+    COMMAND ${ESPSIM_CLI} serve --profile testsrv --events 400
+        --configs base,ESP+NL
+        --telemetry telemetry_smoke.jsonl --telemetry-period 20000
+        --json telemetry_on.json
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err
+    OUTPUT_QUIET
+    WORKING_DIRECTORY ${WORK_DIR})
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "telemetry-on serve failed (${rc}): ${err}")
+endif()
+string(REGEX MATCH "# telemetry: ([0-9]+) snapshots" _ "${err}")
+if(CMAKE_MATCH_1 STREQUAL "" OR CMAKE_MATCH_1 EQUAL 0)
+    message(FATAL_ERROR
+        "telemetry-on serve streamed no snapshots: ${err}")
+endif()
+
+execute_process(
+    COMMAND ${ESPSIM_CLI} serve --profile testsrv --events 400
+        --configs base,ESP+NL
+        --json telemetry_off.json
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err
+    OUTPUT_QUIET
+    WORKING_DIRECTORY ${WORK_DIR})
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "telemetry-off serve failed (${rc}): ${err}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/telemetry_on.json ${WORK_DIR}/telemetry_off.json
+    RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+        "latency artifact is not byte-identical with telemetry on")
+endif()
+
+# --- 3: injected stall fires the watchdog exactly once ---------------
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ESPSIM_STALL_INJECT=150:600
+        ${ESPSIM_CLI} serve --profile testsrv --events 300
+        --configs base
+        --telemetry telemetry_stall.jsonl --telemetry-period 20000
+        --watchdog-ms 100 --watchdog-dump stallflight
+        --trace-spans telemetry_stall_spans.json
+        --flight-recorder 64 --anomaly-threshold 1000
+        --json telemetry_stall.json
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err
+    OUTPUT_QUIET
+    WORKING_DIRECTORY ${WORK_DIR})
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "stalled serve failed (${rc}): ${err}")
+endif()
+if(NOT err MATCHES "stall watchdog: no retire progress")
+    message(FATAL_ERROR "watchdog never fired under injected stall")
+endif()
+if(NOT err MATCHES "# telemetry: [0-9]+ snapshots, 1 watchdog fires")
+    message(FATAL_ERROR
+        "watchdog did not fire exactly once: ${err}")
+endif()
+if(NOT err MATCHES "# serve run degraded:")
+    message(FATAL_ERROR "degraded state not reported on stderr")
+endif()
+if(NOT EXISTS ${WORK_DIR}/stallflight.base.stall.trace.json)
+    message(FATAL_ERROR "watchdog flight-recorder dump missing")
+endif()
+
+file(READ ${WORK_DIR}/telemetry_stall.json stall_artifact)
+if(NOT stall_artifact MATCHES "\"health\"")
+    message(FATAL_ERROR "degraded artifact lacks the health block")
+endif()
+if(NOT stall_artifact MATCHES "\"status\":\"degraded\"")
+    message(FATAL_ERROR "health block does not say degraded")
+endif()
+if(NOT stall_artifact MATCHES "\"watchdog_fires\":1")
+    message(FATAL_ERROR "health block does not record exactly 1 fire")
+endif()
+
+message(STATUS "telemetry gate: byte-identity, streaming and "
+    "watchdog contracts all hold")

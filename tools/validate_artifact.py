@@ -12,8 +12,15 @@ Interval series are checked semantically, not just structurally: for
 every counter, baseline + sum(interval deltas) must equal the final
 snapshot exactly (the deltas telescope; see src/report/interval.hh).
 
+Files ending in ``.jsonl`` are treated as telemetry streams
+(``espsim run/serve --telemetry``): one header line per run block
+followed by absolute counter snapshots.  The semantic checks mirror
+the stream's contract (src/report/telemetry.hh): contiguous 1-based
+seq, monotone cycle/events/counter values within a block, and exactly
+one ``"final": true`` line closing each block.
+
 Usage:
-    validate_artifact.py ARTIFACT.json [ARTIFACT2.json ...]
+    validate_artifact.py ARTIFACT.json [ARTIFACT2.jsonl ...]
 
 Exit code 0 when every file validates, 1 otherwise; problems are
 printed one per line as `file: message`.
@@ -28,6 +35,8 @@ INTERVAL_SCHEMA = "espsim-interval-series"
 BENCH_SCHEMA = "espsim-bench-artifact"
 LATENCY_SCHEMA = "espsim-latency-artifact"
 SPAN_SCHEMA = "espsim-span-artifact"
+TELEMETRY_SCHEMA = "espsim-telemetry-stream"
+OBSERVATORY_SCHEMA = "espsim-observatory-report"
 SUPPORTED_FORMAT_VERSIONS = {1}
 
 
@@ -50,6 +59,26 @@ def _check_manifest(doc, problems, *, want_hash):
                        for c in config_hash)):
             _fail(problems, "manifest.config_hash is not a 16-digit "
                             "lowercase hex string")
+    # The health block is opt-in: serve artifacts carry it only when
+    # the run degraded (watchdog fired), so healthy runs stay
+    # byte-identical with telemetry off. Validate it when present.
+    health = manifest.get("health")
+    if health is not None:
+        if not isinstance(health, dict):
+            _fail(problems, "manifest.health is not an object")
+        else:
+            if health.get("status") != "degraded":
+                _fail(problems,
+                      "manifest.health.status != 'degraded' (healthy "
+                      "runs omit the block entirely)")
+            reason = health.get("reason")
+            if not isinstance(reason, str) or not reason:
+                _fail(problems,
+                      "manifest.health.reason missing or empty")
+            fires = health.get("watchdog_fires")
+            if not isinstance(fires, int) or fires < 0:
+                _fail(problems, "manifest.health.watchdog_fires is "
+                                "not a non-negative integer")
     return problems
 
 
@@ -558,6 +587,243 @@ def validate_span(doc, problems):
     return problems
 
 
+def _check_telemetry_header(doc, where, problems):
+    """One telemetry block header line; returns names or None."""
+    if doc.get("schema") != TELEMETRY_SCHEMA:
+        _fail(problems, f"{where}: expected a block header with "
+                        f"schema {TELEMETRY_SCHEMA!r}")
+        return None
+    if doc.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
+        _fail(problems, f"{where}: unsupported format_version")
+    for key in ("config", "workload"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            _fail(problems, f"{where}: {key} missing or empty")
+    config_hash = doc.get("config_hash")
+    if (not isinstance(config_hash, str) or len(config_hash) != 16
+            or any(c not in "0123456789abcdef" for c in config_hash)):
+        _fail(problems, f"{where}: config_hash is not a 16-digit "
+                        "lowercase hex string")
+    for key in ("period_cycles", "wall_ms"):
+        value = doc.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            _fail(problems,
+                  f"{where}: {key} is not a non-negative number")
+    names = doc.get("names")
+    if not isinstance(names, list) or not names \
+            or not all(isinstance(n, str) and n for n in names):
+        _fail(problems, f"{where}: names missing or not a list of "
+                        "non-empty strings")
+        return None
+    if sorted(names) != names:
+        _fail(problems, f"{where}: names are not sorted")
+    return names
+
+
+def validate_telemetry_stream(path):
+    """A .jsonl telemetry stream: header + snapshot lines per block.
+
+    Semantic contract (src/report/telemetry.hh): within a block, seq
+    is contiguous from 1, cycle/events never decrease, every counter
+    value is monotone non-decreasing (they are absolute readouts of
+    monotone counters), and the block closes with exactly one
+    `"final": true` line. A stream may carry several blocks (a serve
+    sweep writes one per config).
+    """
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        return [str(exc)]
+    if not lines:
+        return _fail(problems, "empty telemetry stream")
+
+    names = None          # current block's frozen name set
+    prev = None           # previous snapshot line of the block
+    block_closed = True   # no block open yet
+    block = 0
+    for i, raw in enumerate(lines):
+        where = f"line {i + 1}"
+        if not raw.strip():
+            _fail(problems, f"{where}: blank line")
+            continue
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            _fail(problems, f"{where}: {exc}")
+            continue
+        if not isinstance(doc, dict):
+            _fail(problems, f"{where}: not an object")
+            continue
+        if "schema" in doc:
+            # A new block header. The previous block (if any) must
+            # have been closed by a final snapshot.
+            if not block_closed:
+                _fail(problems, f"{where}: block {block} not closed "
+                                "by a final snapshot")
+            block += 1
+            names = _check_telemetry_header(doc, where, problems)
+            prev = None
+            block_closed = False
+            continue
+        if names is None:
+            _fail(problems, f"{where}: snapshot before any valid "
+                            "block header")
+            continue
+        if block_closed:
+            _fail(problems, f"{where}: snapshot after the final "
+                            f"snapshot of block {block}")
+            continue
+        seq = doc.get("seq")
+        want_seq = 1 if prev is None else prev["seq"] + 1
+        if not isinstance(seq, int) or seq != want_seq:
+            _fail(problems,
+                  f"{where}: seq is {seq!r}, expected {want_seq} "
+                  "(contiguous, 1-based)")
+        for key in ("cycle", "events"):
+            value = doc.get(key)
+            if not isinstance(value, int) or value < 0:
+                _fail(problems,
+                      f"{where}: {key} is not a non-negative integer")
+            elif prev is not None and value < prev[key]:
+                _fail(problems, f"{where}: {key} decreased "
+                                f"({prev[key]} -> {value})")
+        values = doc.get("values")
+        if (not isinstance(values, list) or len(values) != len(names)
+                or not all(isinstance(v, (int, float))
+                           for v in values)):
+            _fail(problems, f"{where}: values not numeric or length "
+                            "!= header names length")
+            values = None
+        elif prev is not None and prev["values"] is not None:
+            for name, before, now in zip(names, prev["values"],
+                                         values):
+                if now < before:
+                    _fail(problems,
+                          f"{where}: counter {name!r} decreased "
+                          f"({before} -> {now})")
+        final = doc.get("final", False)
+        if final is True:
+            block_closed = True
+        elif final is not False:
+            _fail(problems, f"{where}: final is not a boolean")
+        if isinstance(seq, int) and isinstance(doc.get("cycle"), int) \
+                and isinstance(doc.get("events"), int):
+            prev = {"seq": seq, "cycle": doc["cycle"],
+                    "events": doc["events"], "values": values}
+    if block == 0:
+        _fail(problems, "no block header found")
+    elif not block_closed:
+        _fail(problems, f"block {block} not closed by a final "
+                        "snapshot")
+    return problems
+
+
+def validate_observatory(doc, problems):
+    """`espsim report` / tools/observatory.py cross-run report."""
+    manifest = doc.get("manifest")
+    if not isinstance(manifest, dict):
+        return _fail(problems, "missing manifest object")
+    if not isinstance(manifest.get("source"), str) \
+            or not manifest.get("source"):
+        _fail(problems, "manifest.source missing or empty")
+    tolerance = manifest.get("tolerance")
+    if not isinstance(tolerance, (int, float)) or tolerance < 0:
+        _fail(problems,
+              "manifest.tolerance is not a non-negative number")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return _fail(problems, "runs missing or empty")
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        for key in ("path", "schema"):
+            if not isinstance(run.get(key), str) or not run[key]:
+                _fail(problems, f"{where}.{key} missing or empty")
+        if not isinstance(run.get("degraded"), bool):
+            _fail(problems, f"{where}.degraded is not a boolean")
+        metrics = run.get("metrics")
+        if not isinstance(metrics, dict):
+            _fail(problems, f"{where}.metrics missing")
+        elif not all(isinstance(v, (int, float))
+                     for v in metrics.values()):
+            _fail(problems, f"{where}.metrics not all numeric")
+    paths = {run.get("path") for run in runs
+             if isinstance(run, dict)}
+    groups = doc.get("groups")
+    if not isinstance(groups, list):
+        return _fail(problems, "groups missing")
+    flagged = 0
+    for i, group in enumerate(groups):
+        where = f"groups[{i}]"
+        if not isinstance(group, dict):
+            _fail(problems, f"{where} is not an object")
+            continue
+        if not isinstance(group.get("schema"), str):
+            _fail(problems, f"{where}.schema missing")
+        member_paths = group.get("runs")
+        if not isinstance(member_paths, list) or not member_paths:
+            _fail(problems, f"{where}.runs missing or empty")
+            member_paths = []
+        for ref in member_paths:
+            # espsim report references members by runs[] index;
+            # tools/observatory.py by path. Both must resolve.
+            if isinstance(ref, int):
+                if not 0 <= ref < len(runs):
+                    _fail(problems, f"{where}.runs index {ref} out "
+                                    "of range")
+            elif ref not in paths:
+                _fail(problems,
+                      f"{where}.runs references unknown run {ref!r}")
+        trends = group.get("trends")
+        if not isinstance(trends, list):
+            _fail(problems, f"{where}.trends missing or not a list")
+            trends = []
+        if len(member_paths) < 2 and trends:
+            _fail(problems,
+                  f"{where}: trends present with fewer than 2 runs")
+        for j, trend in enumerate(trends):
+            tw = f"{where}.trends[{j}]"
+            if not isinstance(trend, dict):
+                _fail(problems, f"{tw} is not an object")
+                continue
+            if not isinstance(trend.get("metric"), str) \
+                    or not trend.get("metric"):
+                _fail(problems, f"{tw}.metric missing or empty")
+            for key in ("first", "last", "rel_change"):
+                if not isinstance(trend.get(key), (int, float)):
+                    _fail(problems, f"{tw}.{key} is not a number")
+            for key in ("higher_is_better", "regressed"):
+                if not isinstance(trend.get(key), bool):
+                    _fail(problems, f"{tw}.{key} is not a boolean")
+            flagged += trend.get("regressed") is True
+            # Replay the regression rule offline: the flag must
+            # follow from rel_change, direction and tolerance.
+            rel = trend.get("rel_change")
+            if (isinstance(rel, (int, float))
+                    and isinstance(tolerance, (int, float))
+                    and isinstance(trend.get("higher_is_better"),
+                                   bool)
+                    and isinstance(trend.get("regressed"), bool)):
+                bad = -rel if trend["higher_is_better"] else rel
+                if trend["regressed"] != (bad > tolerance):
+                    _fail(problems,
+                          f"{tw}.regressed inconsistent with "
+                          "rel_change and tolerance")
+    regressions = doc.get("regressions")
+    if not isinstance(regressions, int) or regressions < 0:
+        _fail(problems,
+              "regressions is not a non-negative integer")
+    elif regressions != flagged:
+        _fail(problems, f"regressions is {regressions} but "
+                        f"{flagged} trend(s) are flagged")
+    if not isinstance(doc.get("skipped"), list):
+        _fail(problems, "skipped missing or not a list")
+    return problems
+
+
 def validate_timeline(doc, problems):
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -602,6 +868,8 @@ def validate_timeline(doc, problems):
 
 
 def validate(path):
+    if path.endswith(".jsonl"):
+        return validate_telemetry_stream(path)
     problems = []
     try:
         with open(path, "rb") as handle:
@@ -622,6 +890,7 @@ def validate(path):
         BENCH_SCHEMA: validate_bench,
         LATENCY_SCHEMA: validate_latency,
         SPAN_SCHEMA: validate_span,
+        OBSERVATORY_SCHEMA: validate_observatory,
     }
     if schema not in handlers:
         return _fail(problems, f"unknown schema {schema!r}")
